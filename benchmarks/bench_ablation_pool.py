@@ -1,0 +1,62 @@
+"""Ablation: retranslation trigger policy (DESIGN.md §5).
+
+The paper's IA32EL triggers optimisation when "a sufficient number of
+blocks are registered or when a block is registered twice".  This bench
+varies both knobs and measures the effect on the initial profile's
+accuracy and on how early hot code gets optimised — the trade the paper's
+Figure 17 discussion hinges on.
+"""
+
+import pytest
+
+from repro.dbt import DBTConfig
+from repro.harness import Table
+from repro.harness.runner import study_benchmark
+from repro.workloads import get_benchmark
+
+from conftest import emit_table
+
+POLICIES = {
+    "immediate (pool=1)": DBTConfig(pool_trigger_size=1),
+    "small pool (4)": DBTConfig(pool_trigger_size=4),
+    "default (12)": DBTConfig(pool_trigger_size=12),
+    "large pool (48)": DBTConfig(pool_trigger_size=48),
+    "pool only, no 2x (12)": DBTConfig(pool_trigger_size=12,
+                                       register_twice_triggers=False),
+}
+
+THRESHOLD = 200  # nominal 2k — the paper's INT sweet spot
+
+
+def _measure(policy: DBTConfig, name: str):
+    bench = get_benchmark(name)
+    result = study_benchmark(bench, [THRESHOLD], config=policy,
+                             steps_scale=0.25, include_perf=False)
+    return result
+
+
+def test_pool_policy_ablation(benchmark, capsys):
+    rows = {}
+    for label, policy in POLICIES.items():
+        gzip = _measure(policy, "gzip")
+        eon = _measure(policy, "eon")
+        rows[label] = (gzip.sd_bp[THRESHOLD], gzip.num_regions[THRESHOLD],
+                       eon.sd_bp[THRESHOLD], eon.num_regions[THRESHOLD])
+
+    table = Table(
+        title="Ablation: retranslation trigger policy (nominal T=2k)",
+        columns=["policy", "gzip Sd.BP", "gzip regions", "eon Sd.BP",
+                 "eon regions"])
+    for label, row in rows.items():
+        table.add_row(label, *row)
+    emit_table(table, "ablation_pool")
+
+    # The timed kernel: one representative policy evaluation.
+    benchmark(_measure, POLICIES["default (12)"], "eon")
+
+    # Every policy must keep the profile usable; aggressive triggering
+    # (pool=1) freezes counters earliest and must not *improve* accuracy.
+    accuracies = {label: row[0] for label, row in rows.items()}
+    assert all(a is not None for a in accuracies.values())
+    assert accuracies["immediate (pool=1)"] >= \
+        accuracies["large pool (48)"] * 0.5

@@ -1,0 +1,60 @@
+"""Ablation: the region former's minimum branch probability.
+
+The paper cites the classic 70% "minimum branch probability" for trace
+selection but its own Figure 6 example keeps both arms of a 0.4/0.6
+diamond.  This bench sweeps the growth threshold and measures completion
+probabilities and region shapes, motivating the 0.30 default in
+``DBTConfig.include_prob``.
+"""
+
+import pytest
+
+from repro.dbt import DBTConfig
+from repro.harness import Table
+from repro.harness.runner import study_benchmark
+from repro.workloads import get_benchmark
+
+from conftest import emit_table
+
+INCLUDE_PROBS = [0.1, 0.3, 0.5, 0.7, 0.9]
+THRESHOLD = 200
+
+
+def _measure(include_prob: float, name: str = "crafty"):
+    config = DBTConfig(include_prob=include_prob)
+    return study_benchmark(get_benchmark(name), [THRESHOLD], config=config,
+                           steps_scale=0.25, include_perf=True)
+
+
+def test_region_growth_ablation(benchmark):
+    rows = []
+    for include_prob in INCLUDE_PROBS:
+        result = _measure(include_prob)
+        perf = result.perf[THRESHOLD]
+        rows.append((
+            f"{include_prob:.1f}",
+            result.num_regions[THRESHOLD],
+            result.sd_cp[THRESHOLD],
+            result.sd_bp[THRESHOLD],
+            perf.num_side_exits,
+        ))
+
+    table = Table(
+        title="Ablation: region-growth minimum branch probability "
+              "(crafty, nominal T=2k)",
+        columns=["include_prob", "regions", "Sd.CP", "Sd.BP",
+                 "side exits"])
+    for row in rows:
+        table.add_row(*row)
+    emit_table(table, "ablation_regions")
+
+    benchmark(_measure, 0.3)
+
+    # Stricter growth fragments code into more, smaller regions; at
+    # moderate strictness the narrow traces pay more side exits than
+    # permissive growth (extreme strictness degenerates to single-block
+    # regions whose every exit is the planned tail exit).
+    regions = [r[1] for r in rows]
+    assert regions == sorted(regions)
+    side_exits = {float(r[0]): r[4] for r in rows}
+    assert side_exits[0.5] > side_exits[0.1]

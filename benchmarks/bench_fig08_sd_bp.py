@@ -1,0 +1,27 @@
+"""Benchmark: regenerate the paper's Figure 8 (Sd.BP, suite averages vs threshold).
+
+Prints/persists the figure's rows; the timed kernel is the figure
+aggregation over the cached full-suite study results.
+"""
+
+from repro.harness.figures import fig08_sd_bp
+
+from conftest import emit_table
+
+
+def test_fig08_sd_bp(benchmark, study_results):
+    table = benchmark(fig08_sd_bp, study_results)
+    emit_table(table, "fig08_sd_bp")
+
+    # Shape checks (paper section 4.1): the initial prediction converges
+    # toward (and crosses) the training-input reference, FP earlier than
+    # INT, and FP is easier than INT throughout.
+    int_series = [v for v in table.column("int") if v is not None]
+    fp_series = [v for v in table.column("fp") if v is not None]
+    int_train = table.rows[0][3]
+    fp_train = table.rows[0][4]
+    assert int_series[0] > int_train          # small T worse than train
+    assert min(int_series) < int_train        # large T beats train
+    assert fp_series[2] <= fp_train * 1.5     # FP crosses by ~500
+    assert all(f <= i for f, i in zip(fp_series, int_series))
+

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate the paper's Figure 10 (BP mismatch rates).
+
+Prints/persists the figure's rows; the timed kernel is the figure
+aggregation over the cached full-suite study results.
+"""
+
+from repro.harness.figures import fig10_bp_mismatch
+
+from conftest import emit_table
+
+
+def test_fig10_bp_mismatch(benchmark, study_results):
+    table = benchmark(fig10_bp_mismatch, study_results)
+    emit_table(table, "fig10_bp_mismatch")
+
+    int_series = [v for v in table.column("int") if v is not None]
+    fp_series = [v for v in table.column("fp") if v is not None]
+    int_train = table.rows[0][3]
+    assert int_series[0] > 0.15               # small T mismatches a lot
+    assert int_series[0] > int_train
+    assert min(int_series) < int_train
+    # FP is far easier than INT (wupwise's long warm-up keeps the small-T
+    # average slightly above zero, as in the paper's Figure 12).
+    assert all(v < 0.06 for v in fp_series)
+    assert all(f <= i for f, i in zip(fp_series, int_series))
+

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate the paper's Figure 11 (BP mismatch per INT benchmark).
+
+Prints/persists the figure's rows; the timed kernel is the figure
+aggregation over the cached full-suite study results.
+"""
+
+from repro.harness.figures import fig11_bp_mismatch_int
+
+from conftest import emit_table
+
+
+def test_fig11_bp_mismatch_int(benchmark, study_results):
+    table = benchmark(fig11_bp_mismatch_int, study_results)
+    emit_table(table, "fig11_bp_mismatch_int")
+
+    # gzip: high mismatch at small T, sharp drop, ~20% persistent tail;
+    # mcf: >30% through mid thresholds; perlbmk: terrible train row.
+    gzip = table.column("gzip")
+    mcf = table.column("mcf")
+    train_row = table.rows[-1]
+    assert gzip[0] > 0.4
+    assert 0.1 < gzip[7] < 0.3                 # the persistent tail
+    assert mcf[2] > 0.3
+    perl_index = table.columns.index("perlbmk")
+    assert train_row[perl_index] > 0.4
+

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate the paper's Figure 14 (Sd.LP, suite averages).
+
+Prints/persists the figure's rows; the timed kernel is the figure
+aggregation over the cached full-suite study results.
+"""
+
+from repro.harness.figures import fig14_sd_lp
+
+from conftest import emit_table
+
+
+def test_fig14_sd_lp(benchmark, study_results):
+    table = benchmark(fig14_sd_lp, study_results)
+    emit_table(table, "fig14_sd_lp")
+
+    # FP loop-back error decreases steadily with longer profiling
+    # (the paper: "longer profiling period may help loop optimizations").
+    fp_series = [v for v in table.column("fp") if v is not None]
+    assert fp_series[0] > fp_series[-1]
+    assert max(fp_series[:3]) > max(fp_series[-3:])
+    int_series = [v for v in table.column("int") if v is not None]
+    assert int_series[0] > fp_series[0]
+

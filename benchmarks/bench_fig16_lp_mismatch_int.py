@@ -1,0 +1,22 @@
+"""Benchmark: regenerate the paper's Figure 16 (trip-count mismatch per INT benchmark).
+
+Prints/persists the figure's rows; the timed kernel is the figure
+aggregation over the cached full-suite study results.
+"""
+
+from repro.harness.figures import fig16_lp_mismatch_int
+
+from conftest import emit_table
+
+
+def test_fig16_lp_mismatch_int(benchmark, study_results):
+    table = benchmark(fig16_lp_mismatch_int, study_results)
+    emit_table(table, "fig16_lp_mismatch_int")
+
+    # mcf's classification is inverted at small T and recovers at ~10k+;
+    # vpr stays wrong deep into the sweep (the 80k finding).
+    mcf = table.column("mcf")
+    vpr = table.column("vpr")
+    assert any(v is not None and v > 0.4 for v in mcf[:6])
+    assert any(v is not None and v > 0.5 for v in vpr[6:10])
+

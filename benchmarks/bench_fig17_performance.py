@@ -1,0 +1,26 @@
+"""Benchmark: regenerate the paper's Figure 17 (performance impact of initial profiles).
+
+Prints/persists the figure's rows; the timed kernel is the figure
+aggregation over the cached full-suite study results.
+"""
+
+from repro.harness.figures import fig17_performance
+
+from conftest import emit_table
+
+
+def test_fig17_performance(benchmark, study_results):
+    table = benchmark(fig17_performance, study_results)
+    emit_table(table, "fig17_performance")
+
+    # Best INT performance at small-to-mid thresholds, well above the
+    # threshold-1 base; perlbmk lifts the full-INT line; very large
+    # thresholds are much worse than the base (optimise early!).
+    int_series = [v for v in table.column("int") if v is not None]
+    no_perl = [v for v in table.column("int no perl") if v is not None]
+    fp_series = [v for v in table.column("fp") if v is not None]
+    assert max(int_series[:6]) > 1.05
+    assert max(int_series[:6]) > max(no_perl[:6])
+    assert int_series[-1] < 0.7
+    assert 0.9 < max(fp_series) < 1.1          # FP: small, flat effect
+

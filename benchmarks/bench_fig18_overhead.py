@@ -1,0 +1,23 @@
+"""Benchmark: regenerate the paper's Figure 18 (profiling operations vs training run).
+
+Prints/persists the figure's rows; the timed kernel is the figure
+aggregation over the cached full-suite study results.
+"""
+
+from repro.harness.figures import fig18_overhead
+
+from conftest import emit_table
+
+
+def test_fig18_overhead(benchmark, study_results):
+    table = benchmark(fig18_overhead, study_results)
+    emit_table(table, "fig18_overhead")
+
+    # Thresholds 500-2000 need ~1% of the training run's profiling
+    # operations; around 1M the costs match (the paper's section 4.5).
+    all_series = [v for v in table.column("all") if v is not None]
+    assert all_series[2] < 0.02                # nominal 500
+    assert all_series[4] < 0.05                # nominal 2k
+    assert all_series[-2] > 0.5                # nominal 1M near training
+    assert all_series == sorted(all_series)    # monotone in T
+

@@ -1,0 +1,36 @@
+"""Shared fixtures for the figure benchmarks.
+
+The full-suite study (26 benchmarks × 13 thresholds, full run lengths) is
+computed once per session and cached on disk under ``.cache/``, so only
+the first ever benchmark invocation pays the simulation cost (a few
+minutes); afterwards every figure regenerates from the cached numbers.
+
+Rendered tables are also written to ``results/fig*.txt`` so the
+paper-vs-measured comparison in EXPERIMENTS.md can be refreshed easily.
+"""
+
+import os
+
+import pytest
+
+from repro.harness import StudyResults, render, run_full_study
+from repro.harness.tables import Table
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "..", "results")
+
+
+@pytest.fixture(scope="session")
+def study_results() -> StudyResults:
+    """The full-scale study behind Figures 8-18 (disk-cached)."""
+    return run_full_study(include_perf=True)
+
+
+def emit_table(table: Table, name: str) -> str:
+    """Render a figure table, persist it under results/, and return it."""
+    text = render(table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")
+    print("\n" + text)
+    return text

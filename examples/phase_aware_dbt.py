@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Phase-aware translation (the paper's §5 future work), demonstrated.
+
+The paper closes by observing that benchmarks with phase behaviour (Mcf
+above all) defeat any single initial profile and suggests (a) monitoring
+optimised regions to trigger re-profiling and (b) continuous lightweight
+trip-count collection.  This example runs both extensions against the
+synthetic Mcf stand-in:
+
+1. detect Mcf's phase changes from the recorded behaviour;
+2. compare the frozen initial profile's *tracking error* (how far its
+   predictions drift from the program's current behaviour) with the
+   selective re-profiler's;
+3. compare trip-count classification accuracy of the frozen profile vs a
+   continuous exponential-moving-average monitor on the loop whose trip
+   count class inverts mid-run.
+
+Run: ``python examples/phase_aware_dbt.py``
+"""
+
+from repro.dbt import DBTConfig, ReplayDBT
+from repro.phases import (PhaseDetector, SelectiveReprofiler,
+                          compare_static_vs_adaptive,
+                          compare_tripcount_predictors)
+from repro.workloads import get_benchmark
+
+THRESHOLD = 200  # nominal 2k — the paper's sweet spot for INT
+
+
+def main() -> None:
+    bench = get_benchmark("mcf")
+    bench.run_steps = bench.run_steps // 2  # keep the demo brisk
+    print(f"benchmark: {bench.name} ({bench.run_steps:,} block "
+          "executions)")
+    trace = bench.trace("ref")
+
+    # 1. phase detection ----------------------------------------------------
+    detector = PhaseDetector(window_steps=bench.run_steps // 24,
+                             delta=0.2)
+    changes = detector.detect(trace)
+    print(f"\nbranches with detected phase changes: {len(changes)}")
+    role_of = {node: role
+               for role, node in bench.workload.branch_roles.items()}
+    for block, block_changes in sorted(changes.items()):
+        name = role_of.get(block, f"block {block}")
+        for change in block_changes[:2]:
+            print(f"  {name}: p {change.old_probability:.2f} -> "
+                  f"{change.new_probability:.2f} around step "
+                  f"{change.step:,}")
+
+    # 2. static vs adaptive profile ------------------------------------------
+    inip = ReplayDBT(trace, bench.cfg, DBTConfig(threshold=THRESHOLD),
+                     loops=bench.loop_forest()).snapshot()
+    reprofiler = SelectiveReprofiler(threshold=THRESHOLD, deviation=0.15,
+                                     window_steps=bench.run_steps // 24)
+    outcome = compare_static_vs_adaptive(
+        trace, inip, reprofiler, window_steps=bench.run_steps // 24)
+    print("\nprofile tracking error (weighted SD vs current behaviour):")
+    print(f"  frozen initial profile : {outcome['static_error']:.4f}")
+    print(f"  selective re-profiling : {outcome['adaptive_error']:.4f} "
+          f"({int(outcome['reprofiles'])} retranslations, "
+          f"{int(outcome['extra_ops']):,} extra profiling ops)")
+
+    # 3. continuous trip counting -------------------------------------------
+    # price.inner is the paper's anecdote: it looks high-trip-count in the
+    # initial profile but is low-trip-count for 92% of the run.
+    latch = bench.workload.loops["price.inner"].latch
+    trips = compare_tripcount_predictors(
+        trace, latch, inip.branch_probability(latch))
+    print("\ntrip-count class prediction for the 'price.inner' loop "
+          "(high->low inversion mid-run):")
+    print(f"  loop executions observed  : {int(trips['loop_executions'])}")
+    print(f"  frozen initial profile    : "
+          f"{trips['static_accuracy']:.1%} correct")
+    print(f"  continuous trip counting  : "
+          f"{trips['continuous_accuracy']:.1%} correct")
+    print("\nConclusion (matches the paper's §5): selective continuous "
+          "profiling recovers the accuracy the single initial profile "
+          "loses on phase-changing programs, at a tiny additional "
+          "profiling cost.")
+
+
+if __name__ == "__main__":
+    main()

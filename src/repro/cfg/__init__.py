@@ -1,0 +1,26 @@
+"""Control-flow-graph construction and analyses.
+
+* :mod:`repro.cfg.graph` — the :class:`ControlFlowGraph` structure and
+  builders from VIR functions/programs.
+* :mod:`repro.cfg.traversal` — DFS orders, reachability, topological sort.
+* :mod:`repro.cfg.dominators` — dominator tree (Cooper–Harvey–Kennedy).
+* :mod:`repro.cfg.loops` — natural loops and the loop nesting forest.
+* :mod:`repro.cfg.freq` — Markov block-frequency propagation (the linear
+  flow system the paper solved with Intel MKL).
+"""
+
+from .dominators import DominatorTree, compute_dominators
+from .freq import edge_probabilities, propagate_frequencies, solve_flow
+from .graph import CFGError, ControlFlowGraph, cfg_from_function, \
+    cfg_from_program
+from .loops import LoopForest, NaturalLoop, back_edges, find_loops
+from .traversal import post_order, reachable, reverse_post_order, \
+    topological_order
+
+__all__ = [
+    "CFGError", "ControlFlowGraph", "DominatorTree", "LoopForest",
+    "NaturalLoop", "back_edges", "cfg_from_function", "cfg_from_program",
+    "compute_dominators", "edge_probabilities", "find_loops", "post_order",
+    "propagate_frequencies", "reachable", "reverse_post_order", "solve_flow",
+    "topological_order",
+]

@@ -1,0 +1,98 @@
+"""Graph traversal orders: DFS, reverse post-order, reachability, topo sort.
+
+All functions operate on :class:`~repro.cfg.graph.ControlFlowGraph` and are
+iterative (no recursion) so they handle the large generated CFGs of the
+synthetic workload suite without hitting Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from .graph import CFGError, ControlFlowGraph
+
+
+def reachable(cfg: ControlFlowGraph, root: Optional[int] = None) -> Set[int]:
+    """Nodes reachable from ``root`` (default: the CFG entry)."""
+    start = cfg.entry if root is None else root
+    seen = {start}
+    stack = [start]
+    while stack:
+        v = stack.pop()
+        for s in cfg.successors(v):
+            if s not in seen:
+                seen.add(s)
+                stack.append(s)
+    return seen
+
+
+def post_order(cfg: ControlFlowGraph, root: Optional[int] = None) -> List[int]:
+    """Iterative DFS post-order from ``root`` (default: entry).
+
+    Successors are visited in their stored order (taken edge first), which
+    makes the resulting order deterministic.
+    """
+    start = cfg.entry if root is None else root
+    order: List[int] = []
+    visited: Set[int] = set()
+    # Stack holds (node, child-iterator index) frames.
+    stack: List[List[int]] = [[start, 0]]
+    visited.add(start)
+    while stack:
+        frame = stack[-1]
+        v, i = frame
+        succ = cfg.successors(v)
+        if i < len(succ):
+            frame[1] += 1
+            child = succ[i]
+            if child not in visited:
+                visited.add(child)
+                stack.append([child, 0])
+        else:
+            order.append(v)
+            stack.pop()
+    return order
+
+
+def reverse_post_order(cfg: ControlFlowGraph,
+                       root: Optional[int] = None) -> List[int]:
+    """Reverse post-order (the canonical forward-dataflow iteration order)."""
+    order = post_order(cfg, root)
+    order.reverse()
+    return order
+
+
+def topological_order(succs: Sequence[Sequence[int]],
+                      roots: Sequence[int]) -> List[int]:
+    """Topological order of an *acyclic* successor structure.
+
+    Used for propagating frequencies through region DAGs (completion and
+    loop-back probability computation).  Raises :class:`CFGError` if a cycle
+    is reachable from ``roots``.
+    """
+    n = len(succs)
+    indegree = [0] * n
+    seen: Set[int] = set()
+    stack = list(roots)
+    for r in roots:
+        seen.add(r)
+    while stack:
+        v = stack.pop()
+        for s in succs[v]:
+            indegree[s] += 1
+            if s not in seen:
+                seen.add(s)
+                stack.append(s)
+
+    ready = [v for v in roots if indegree[v] == 0]
+    order: List[int] = []
+    while ready:
+        v = ready.pop()
+        order.append(v)
+        for s in succs[v]:
+            indegree[s] -= 1
+            if indegree[s] == 0:
+                ready.append(s)
+    if len(order) != len(seen):
+        raise CFGError("cycle detected in supposedly acyclic region graph")
+    return order

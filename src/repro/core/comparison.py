@@ -1,0 +1,146 @@
+"""INIP-vs-AVEP and INIP(train)-vs-AVEP comparison (paper §2, §3).
+
+This is the off-line analysis tool of the paper: it takes the profile
+files (snapshots), normalises AVEP onto INIP's duplicated graph, and
+produces every §2 metric — Sd.BP, Sd.CP, Sd.LP, the branch-probability
+range mismatch rate and the trip-count class mismatch rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..cfg.graph import ControlFlowGraph
+from ..profiles.model import ProfileSnapshot, RegionKind
+from .completion import completion_probability
+from .loopback import loopback_probability
+from .markov import NormalizedProfile, normalize_avep
+from .matching import MatchPair, bp_match, lp_match, mismatch_rate
+from .metrics import WeightedPair, weighted_sd
+from .normalize import DuplicatedGraph
+
+
+@dataclass
+class ComparisonResult:
+    """Every §2 metric for one profile pair.
+
+    ``None`` metrics mean "nothing to compare" (e.g. no loop regions were
+    formed, so Sd.LP is undefined) — distinct from a perfect 0.0.
+    """
+
+    sd_bp: Optional[float]
+    bp_mismatch: Optional[float]
+    sd_cp: Optional[float]
+    sd_lp: Optional[float]
+    lp_mismatch: Optional[float]
+    num_bp_units: int = 0
+    num_linear_regions: int = 0
+    num_loop_regions: int = 0
+    bp_weight_covered: float = 0.0
+
+
+def _bp_pairs(cfg: ControlFlowGraph, inip: ProfileSnapshot,
+              avep: ProfileSnapshot,
+              navep: NormalizedProfile) -> List[WeightedPair]:
+    """Branch-probability comparison units over the duplicated graph.
+
+    Units are region instances (weighted by their NAVEP-propagated
+    frequencies) plus non-duplicated original blocks (weighted by their
+    AVEP frequencies).  Residual original nodes of duplicated blocks are
+    excluded — their side-entry mass is negligible and they would double
+    count the block.
+    """
+    graph = navep.graph
+    duplicated = graph.duplicated_blocks()
+    pairs: List[WeightedPair] = []
+    for idx, ref in enumerate(graph.nodes):
+        block = ref.block_id
+        if not cfg.is_branch(block):
+            continue
+        if ref.is_instance:
+            weight = float(navep.frequencies[idx])
+        elif block in duplicated:
+            continue
+        else:
+            weight = float(avep.block_frequency(block))
+        if weight <= 0.0:
+            continue
+        predicted = inip.branch_probability(block)
+        average = avep.branch_probability(block)
+        if predicted is None or average is None:
+            continue
+        pairs.append(WeightedPair(predicted=predicted, average=average,
+                                  weight=weight))
+    return pairs
+
+
+def compare_inip_to_avep(cfg: ControlFlowGraph, inip: ProfileSnapshot,
+                         avep: ProfileSnapshot) -> ComparisonResult:
+    """Full comparison of an optimised INIP(T) snapshot against AVEP."""
+    graph = DuplicatedGraph(cfg, inip)
+    navep = normalize_avep(graph, avep)
+
+    bp_pairs = _bp_pairs(cfg, inip, avep, navep)
+    match_pairs = [MatchPair(p.predicted, p.average, p.weight)
+                   for p in bp_pairs]
+
+    cp_pairs: List[WeightedPair] = []
+    lp_pairs: List[WeightedPair] = []
+    for region in inip.regions:
+        weight = float(avep.block_frequency(region.entry_block))
+        if weight <= 0.0:
+            continue
+        if region.kind is RegionKind.LINEAR:
+            ct = completion_probability(region, inip.branch_probability)
+            cm = completion_probability(region, avep.branch_probability)
+            cp_pairs.append(WeightedPair(ct, cm, weight))
+        else:
+            lt = loopback_probability(region, inip.branch_probability)
+            lm = loopback_probability(region, avep.branch_probability)
+            lp_pairs.append(WeightedPair(lt, lm, weight))
+
+    lp_match_pairs = [MatchPair(p.predicted, p.average, p.weight)
+                      for p in lp_pairs]
+
+    return ComparisonResult(
+        sd_bp=weighted_sd(bp_pairs),
+        bp_mismatch=mismatch_rate(match_pairs, matcher=bp_match),
+        sd_cp=weighted_sd(cp_pairs),
+        sd_lp=weighted_sd(lp_pairs),
+        lp_mismatch=mismatch_rate(lp_match_pairs, matcher=lp_match),
+        num_bp_units=len(bp_pairs),
+        num_linear_regions=len(cp_pairs),
+        num_loop_regions=len(lp_pairs),
+        bp_weight_covered=sum(p.weight for p in bp_pairs))
+
+
+def compare_flat_profiles(cfg: ControlFlowGraph, predicted: ProfileSnapshot,
+                          avep: ProfileSnapshot) -> ComparisonResult:
+    """Compare two unoptimised (region-free) profiles block-for-block.
+
+    This computes Sd.BP(train) and the training-input mismatch rate: both
+    INIP(train) and AVEP are whole-run profiles with no regions, so no
+    normalisation is needed (and — as the paper notes — Sd.CP(train) and
+    Sd.LP(train) cannot be computed without region information).
+    """
+    pairs: List[WeightedPair] = []
+    for block in range(cfg.num_nodes):
+        if not cfg.is_branch(block):
+            continue
+        weight = float(avep.block_frequency(block))
+        if weight <= 0.0:
+            continue
+        pred = predicted.branch_probability(block)
+        avg = avep.branch_probability(block)
+        if pred is None or avg is None:
+            continue
+        pairs.append(WeightedPair(pred, avg, weight))
+    match_pairs = [MatchPair(p.predicted, p.average, p.weight)
+                   for p in pairs]
+    return ComparisonResult(
+        sd_bp=weighted_sd(pairs),
+        bp_mismatch=mismatch_rate(match_pairs, matcher=bp_match),
+        sd_cp=None, sd_lp=None, lp_mismatch=None,
+        num_bp_units=len(pairs),
+        bp_weight_covered=sum(p.weight for p in pairs))

@@ -1,0 +1,109 @@
+"""Range-based matching of branch probabilities and loop trip counts.
+
+Optimisers act on *thresholded* probabilities (e.g. "likely taken" at
+>= 70%), so the paper complements the standard deviations with range
+matching (§4.1, §4.3):
+
+* **branch probabilities** bucket into ``[0, .3)``, ``[.3, .7]``,
+  ``(.7, 1]`` — a prediction matches iff both sides fall in the same
+  bucket (0.99 vs 0.76 match; 0.68 vs 0.78 mismatch);
+* **loop trip counts** bucket into low (< 10), median (10–50) and high
+  (> 50), expressed through the loop-back probability via
+  ``LP = (tc-1)/tc``: ``[0, .9)``, ``[.9, .98]``, ``(.98, 1]``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+class BPRange(enum.Enum):
+    """The paper's three branch-probability ranges."""
+
+    NOT_TAKEN = 0    # [0, 0.3)
+    NEUTRAL = 1      # [0.3, 0.7]
+    TAKEN = 2        # (0.7, 1]
+
+
+class TripCountClass(enum.Enum):
+    """Trip-count classes driving loop-optimisation applicability (§4.3)."""
+
+    LOW = 0      # tc < 10: loop peeling; no pipelining or prefetching
+    MEDIAN = 1   # 10 <= tc <= 50: software pipelining
+    HIGH = 2     # tc > 50: pipelining and data prefetching
+
+
+def bp_range(probability: float) -> BPRange:
+    """Bucket a branch probability (paper §4.1 ranges)."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"branch probability {probability} outside [0, 1]")
+    if probability < 0.3:
+        return BPRange.NOT_TAKEN
+    if probability <= 0.7:
+        return BPRange.NEUTRAL
+    return BPRange.TAKEN
+
+
+def bp_match(predicted: float, average: float) -> bool:
+    """True iff both probabilities fall in the same range."""
+    return bp_range(predicted) is bp_range(average)
+
+
+def lp_class(loopback_probability: float) -> TripCountClass:
+    """Bucket a loop-back probability into a trip-count class (§4.3)."""
+    if not 0.0 <= loopback_probability <= 1.0:
+        raise ValueError(f"loop-back probability {loopback_probability} "
+                         "outside [0, 1]")
+    if loopback_probability < 0.9:
+        return TripCountClass.LOW
+    if loopback_probability <= 0.98:
+        return TripCountClass.MEDIAN
+    return TripCountClass.HIGH
+
+
+def trip_count_class(trip_count: float) -> TripCountClass:
+    """Bucket a mean trip count directly."""
+    if trip_count < 1:
+        raise ValueError("trip count must be at least 1")
+    if trip_count < 10:
+        return TripCountClass.LOW
+    if trip_count <= 50:
+        return TripCountClass.MEDIAN
+    return TripCountClass.HIGH
+
+
+def lp_match(predicted: float, average: float) -> bool:
+    """True iff both loop-back probabilities imply the same class."""
+    return lp_class(predicted) is lp_class(average)
+
+
+@dataclass(frozen=True)
+class MatchPair:
+    """One matching unit: predicted vs average value plus AVEP weight."""
+
+    predicted: float
+    average: float
+    weight: float
+
+
+def mismatch_rate(pairs: Iterable[MatchPair],
+                  matcher=bp_match) -> Optional[float]:
+    """Weighted fraction of pairs whose ranges disagree.
+
+    ``matcher`` is :func:`bp_match` for branch probabilities or
+    :func:`lp_match` for loop-back probabilities.  Returns None when
+    there is nothing to compare.
+    """
+    num = 0.0
+    den = 0.0
+    for pair in pairs:
+        if pair.weight < 0:
+            raise ValueError("negative weight")
+        if not matcher(pair.predicted, pair.average):
+            num += pair.weight
+        den += pair.weight
+    if den <= 0.0:
+        return None
+    return num / den

@@ -1,0 +1,146 @@
+"""AVEP → NAVEP normalisation (paper §3.1).
+
+The optimisation phase duplicates blocks into multiple regions, so INIP(T)
+sees a *duplicated* control-flow graph while AVEP sees the original one.
+To compare them, AVEP is normalised onto INIP(T)'s graph:
+
+* the duplicated graph's nodes are every region member *instance* plus
+  every original block (originals of optimised blocks model the residual
+  unoptimised side-entry executions);
+* each copy of block ``b`` inherits ``b``'s AVEP branch probability;
+* copies' frequencies are recovered by Markov modelling — non-duplicated
+  blocks' AVEP frequencies are constants, duplicated copies are unknowns
+  (solved in :mod:`repro.core.markov`).
+
+:class:`DuplicatedGraph` materialises that graph from an INIP snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cfg.graph import ControlFlowGraph
+from ..profiles.model import EdgeKind, ProfileSnapshot, Region
+
+
+@dataclass(frozen=True)
+class CopyRef:
+    """One node of the duplicated graph.
+
+    ``region_id`` is None for an original (non-instance) block node;
+    otherwise the node is ``instance`` of that region.
+    """
+
+    block_id: int
+    region_id: Optional[int] = None
+    instance: Optional[int] = None
+
+    @property
+    def is_instance(self) -> bool:
+        """True for region-member copies, False for original block nodes."""
+        return self.region_id is not None
+
+
+class DuplicatedGraph:
+    """INIP(T)'s view of the program: region instances + original blocks.
+
+    Args:
+        cfg: the original static CFG.
+        snapshot: the INIP profile whose regions define the duplication.
+
+    Attributes:
+        nodes: every :class:`CopyRef`, densely indexed (originals first in
+            block-id order, then instances in region order).
+        edges: ``(src_node, dst_node, EdgeKind)`` triples.
+    """
+
+    def __init__(self, cfg: ControlFlowGraph, snapshot: ProfileSnapshot):
+        self.cfg = cfg
+        self.snapshot = snapshot
+        self.nodes: List[CopyRef] = []
+        self._index: Dict[CopyRef, int] = {}
+        self.edges: List[Tuple[int, int, EdgeKind]] = []
+        # Region entered at block b => control transfers to b land on the
+        # region's entry instance rather than the original block.
+        self._entry_region: Dict[int, Region] = {}
+        for region in snapshot.regions:
+            # A block seeds at most one region, so entries are unique.
+            self._entry_region.setdefault(region.entry_block, region)
+        self._build()
+
+    # -- construction ----------------------------------------------------------
+
+    def _add_node(self, ref: CopyRef) -> int:
+        idx = self._index.get(ref)
+        if idx is None:
+            idx = len(self.nodes)
+            self.nodes.append(ref)
+            self._index[ref] = idx
+        return idx
+
+    def _redirect(self, block_id: int) -> int:
+        """Node that control flow targeting ``block_id`` actually reaches."""
+        region = self._entry_region.get(block_id)
+        if region is not None:
+            return self._index[CopyRef(region.entry_block,
+                                       region.region_id, 0)]
+        return self._index[CopyRef(block_id)]
+
+    def _build(self) -> None:
+        cfg = self.cfg
+        for block_id in range(cfg.num_nodes):
+            self._add_node(CopyRef(block_id))
+        for region in self.snapshot.regions:
+            for instance, block_id in enumerate(region.members):
+                self._add_node(CopyRef(block_id, region.region_id, instance))
+
+        # Original blocks keep their CFG successors, redirected through
+        # region entries.
+        for block_id in range(cfg.num_nodes):
+            src = self._index[CopyRef(block_id)]
+            succ = cfg.successors(block_id)
+            if len(succ) == 2:
+                self.edges.append((src, self._redirect(succ[0]),
+                                   EdgeKind.TAKEN))
+                self.edges.append((src, self._redirect(succ[1]),
+                                   EdgeKind.FALL))
+            elif len(succ) == 1:
+                self.edges.append((src, self._redirect(succ[0]),
+                                   EdgeKind.ALWAYS))
+
+        # Region instances follow the region structure.
+        for region in self.snapshot.regions:
+            base = {i: self._index[CopyRef(b, region.region_id, i)]
+                    for i, b in enumerate(region.members)}
+            for s, d, kind in region.internal_edges:
+                self.edges.append((base[s], base[d], kind))
+            for s, kind in region.back_edges:
+                self.edges.append((base[s], base[0], kind))
+            for s, kind, target in region.exit_edges:
+                self.edges.append((base[s], self._redirect(target), kind))
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total copies (originals + instances)."""
+        return len(self.nodes)
+
+    def node_index(self, ref: CopyRef) -> int:
+        """Dense index of a copy."""
+        return self._index[ref]
+
+    def duplicated_blocks(self) -> Set[int]:
+        """Blocks with at least one region instance (the 'duplicated' ones
+        whose copy frequencies must be solved rather than read off AVEP)."""
+        return {ref.block_id for ref in self.nodes if ref.is_instance}
+
+    def copies_of(self, block_id: int) -> List[int]:
+        """Node indices of every copy of ``block_id``."""
+        return [i for i, ref in enumerate(self.nodes)
+                if ref.block_id == block_id]
+
+    def entry_node(self) -> int:
+        """Node where program entry lands (redirected through regions)."""
+        return self._redirect(self.cfg.entry)

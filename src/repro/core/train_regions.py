@@ -1,0 +1,121 @@
+"""Region formation from the training profile (paper §5, future work #3).
+
+The paper computes Sd.CP/Sd.LP only for INIP(T) because "INIP(train) and
+AVEP are not optimized and thus have no region information", and proposes
+as future work to *construct* regions in INIP(train) with a region
+formation algorithm so the training input's completion and loop-back
+predictions can be compared too.  This module does exactly that:
+
+1. run the optimiser's region former over the static CFG using the
+   training profile's whole-run branch probabilities, seeding from the
+   hottest training-profile blocks (what a static region-based compiler
+   with training-input PGO would do);
+2. evaluate each region's completion / loop-back probability twice — once
+   under the training branch probabilities (the prediction), once under
+   AVEP's (the truth) — weighted by AVEP entry frequencies, giving
+   Sd.CP(train) and Sd.LP(train).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..cfg.graph import ControlFlowGraph
+from ..cfg.loops import LoopForest, find_loops
+from ..dbt.config import DBTConfig
+from ..dbt.regions import RegionFormer
+from ..profiles.model import ProfileSnapshot, Region, RegionKind
+from .completion import completion_probability
+from .loopback import loopback_probability
+from .metrics import WeightedPair, weighted_sd
+
+
+def form_regions_from_profile(cfg: ControlFlowGraph,
+                              profile: ProfileSnapshot,
+                              config: Optional[DBTConfig] = None,
+                              loops: Optional[LoopForest] = None,
+                              hot_fraction_of_peak: float = 0.01
+                              ) -> List[Region]:
+    """Form regions from a whole-run (flat) profile.
+
+    Seeds are every block whose use count is at least
+    ``hot_fraction_of_peak`` of the hottest block's — the classic static
+    PGO hot-code selection — and growth uses the profile's branch
+    probabilities through the same :class:`RegionFormer` the dynamic
+    optimiser uses.
+    """
+    config = config or DBTConfig()
+    loops = loops or find_loops(cfg)
+    if not profile.blocks:
+        return []
+    peak = max(p.use for p in profile.blocks.values())
+    floor = max(peak * hot_fraction_of_peak, 1.0)
+    seeds = [b for b, p in sorted(profile.blocks.items())
+             if p.use >= floor]
+    if not seeds:
+        return []
+
+    def counters(block: int) -> Tuple[int, int]:
+        entry = profile.blocks.get(block)
+        return (0, 0) if entry is None else (entry.use, entry.taken)
+
+    # hot_fraction must admit the same hot set during growth.
+    grow_config = DBTConfig(
+        threshold=max(int(floor), 1),
+        pool_trigger_size=config.pool_trigger_size,
+        include_prob=config.include_prob,
+        hot_fraction=1.0,
+        max_region_blocks=config.max_region_blocks,
+        allow_duplication=config.allow_duplication)
+    former = RegionFormer(cfg, loops, grow_config)
+    result = former.form(seeds, counters, set(), next_region_id=0)
+    return result.regions
+
+
+@dataclass
+class TrainRegionComparison:
+    """Sd.CP(train)/Sd.LP(train) — the future-work reference points."""
+
+    sd_cp: Optional[float]
+    sd_lp: Optional[float]
+    num_linear_regions: int
+    num_loop_regions: int
+
+
+def compare_train_regions(cfg: ControlFlowGraph,
+                          train_profile: ProfileSnapshot,
+                          avep: ProfileSnapshot,
+                          config: Optional[DBTConfig] = None,
+                          loops: Optional[LoopForest] = None
+                          ) -> TrainRegionComparison:
+    """Compute Sd.CP(train) and Sd.LP(train) against AVEP.
+
+    Regions are formed from the training profile (the shapes a static
+    compiler would optimise), predictions use the training branch
+    probabilities, truths use AVEP's, weights are AVEP entry frequencies
+    — mirroring the paper's §2.2/§2.3 definitions exactly.
+    """
+    regions = form_regions_from_profile(cfg, train_profile, config=config,
+                                        loops=loops)
+    cp_pairs: List[WeightedPair] = []
+    lp_pairs: List[WeightedPair] = []
+    for region in regions:
+        weight = float(avep.block_frequency(region.entry_block))
+        if weight <= 0.0:
+            continue
+        if region.kind is RegionKind.LINEAR:
+            ct = completion_probability(region,
+                                        train_profile.branch_probability)
+            cm = completion_probability(region, avep.branch_probability)
+            cp_pairs.append(WeightedPair(ct, cm, weight))
+        else:
+            lt = loopback_probability(region,
+                                      train_profile.branch_probability)
+            lm = loopback_probability(region, avep.branch_probability)
+            lp_pairs.append(WeightedPair(lt, lm, weight))
+    return TrainRegionComparison(
+        sd_cp=weighted_sd(cp_pairs),
+        sd_lp=weighted_sd(lp_pairs),
+        num_linear_regions=len(cp_pairs),
+        num_loop_regions=len(lp_pairs))

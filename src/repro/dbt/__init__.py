@@ -1,0 +1,25 @@
+"""The simulated two-phase dynamic binary translator.
+
+* :mod:`repro.dbt.config` — pipeline knobs (:class:`DBTConfig`).
+* :mod:`repro.dbt.counters` — the use/taken counter table with freezing.
+* :mod:`repro.dbt.pool` — candidate pool and retranslation triggers.
+* :mod:`repro.dbt.regions` — optimisation-phase region formation.
+* :mod:`repro.dbt.translator` — the live, event-driven translator.
+* :mod:`repro.dbt.replay` — threshold sweeps over recorded traces.
+* :mod:`repro.dbt.codecache` — block-level translation summaries for the
+  performance model.
+"""
+
+from .codecache import TranslationMap, translation_map_from_replay
+from .config import DBTConfig
+from .counters import CounterTable
+from .pool import CandidatePool
+from .regions import FormationResult, RegionFormer
+from .replay import ReplayDBT, inip_from_trace
+from .translator import TwoPhaseDBT
+
+__all__ = [
+    "CandidatePool", "CounterTable", "DBTConfig", "FormationResult",
+    "RegionFormer", "ReplayDBT", "TranslationMap", "TwoPhaseDBT",
+    "inip_from_trace", "translation_map_from_replay",
+]

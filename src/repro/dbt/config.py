@@ -1,0 +1,54 @@
+"""Configuration of the simulated two-phase translator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DBTConfig:
+    """Knobs of the two-phase translation pipeline (IA32EL-style).
+
+    Attributes:
+        threshold: the retranslation threshold T — a block is *registered*
+            into the candidate pool when its use count reaches T.
+        pool_trigger_size: the optimisation phase starts when this many
+            blocks are registered ("a sufficient number of blocks"), …
+        register_twice_triggers: … or when a pooled block is registered a
+            second time (its use count reaches 2T), per the paper's §1.
+        include_prob: minimum branch probability for region growth to
+            follow an edge (the trace-selection "minimum branch
+            probability"; the paper cites 70% from [5] for a single path —
+            we default to 0.30 so both arms of a likely re-merging diamond
+            are admitted, as in the paper's Figure 6 region).
+        hot_fraction: non-registered blocks may be grown into a region if
+            their current use count is at least ``hot_fraction * threshold``.
+        max_region_blocks: region size cap (instances per region).
+        allow_duplication: whether a block already optimised into one
+            region may be duplicated into later regions (the paper's
+            Figure 2 Mcf behaviour).
+    """
+
+    threshold: int = 1000
+    pool_trigger_size: int = 12
+    register_twice_triggers: bool = True
+    include_prob: float = 0.30
+    hot_fraction: float = 0.5
+    max_region_blocks: int = 16
+    allow_duplication: bool = True
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if self.pool_trigger_size < 1:
+            raise ValueError("pool_trigger_size must be >= 1")
+        if not 0.0 <= self.include_prob <= 1.0:
+            raise ValueError("include_prob must be in [0, 1]")
+        if not 0.0 <= self.hot_fraction:
+            raise ValueError("hot_fraction must be non-negative")
+        if self.max_region_blocks < 1:
+            raise ValueError("max_region_blocks must be >= 1")
+
+    def with_threshold(self, threshold: int) -> "DBTConfig":
+        """A copy of this configuration at a different threshold."""
+        return replace(self, threshold=threshold)

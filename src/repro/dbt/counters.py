@@ -1,0 +1,77 @@
+"""The profiling phase's use/taken counter table.
+
+Each block has two counters, exactly as in IA32EL's instrumented quick
+translation: **use** (times the block ran) and **taken** (times its
+conditional branch was taken).  Counting stops — the counters *freeze* —
+the moment the block is optimised into a region, which is what makes the
+initial profile "initial".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..profiles.model import BlockProfile
+
+
+class CounterTable:
+    """Use/taken counters with per-block freezing.
+
+    All mutation goes through :meth:`count_use` / :meth:`count_taken`,
+    which also maintain the total number of profiling operations — the
+    quantity plotted in the paper's Figure 18.
+    """
+
+    def __init__(self, num_blocks: int):
+        self.num_blocks = num_blocks
+        self.use = [0] * num_blocks
+        self.taken = [0] * num_blocks
+        self.frozen_at: Dict[int, int] = {}
+        self.profiling_ops = 0
+
+    def is_frozen(self, block: int) -> bool:
+        """True if the block's counters are frozen."""
+        return block in self.frozen_at
+
+    def count_use(self, block: int) -> int:
+        """Count one execution; returns the new use count (0 if frozen)."""
+        if block in self.frozen_at:
+            return 0
+        self.use[block] += 1
+        self.profiling_ops += 1
+        return self.use[block]
+
+    def count_taken(self, block: int, taken: bool) -> None:
+        """Count one branch outcome (profiling op even when not taken —
+        the instrumentation executes either way, but only taken outcomes
+        increment the taken counter)."""
+        if block in self.frozen_at:
+            return
+        if taken:
+            self.taken[block] += 1
+            self.profiling_ops += 1
+
+    def freeze(self, block: int, step: int) -> None:
+        """Stop counting ``block`` as of global ``step`` (idempotent)."""
+        self.frozen_at.setdefault(block, step)
+
+    def counters(self, block: int) -> Tuple[int, int]:
+        """Current (use, taken) of ``block`` — the optimiser's view."""
+        return self.use[block], self.taken[block]
+
+    def branch_probability(self, block: int) -> Optional[float]:
+        """``taken/use`` or None for a never-counted block."""
+        if self.use[block] <= 0:
+            return None
+        return self.taken[block] / self.use[block]
+
+    def block_profiles(self) -> Dict[int, BlockProfile]:
+        """Snapshot every executed block's counters as profile entries."""
+        out: Dict[int, BlockProfile] = {}
+        for block in range(self.num_blocks):
+            if self.use[block] > 0:
+                out[block] = BlockProfile(
+                    block_id=block, use=self.use[block],
+                    taken=self.taken[block],
+                    frozen_at=self.frozen_at.get(block))
+        return out

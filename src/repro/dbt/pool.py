@@ -1,0 +1,54 @@
+"""The candidate pool and the retranslation trigger policy.
+
+Blocks enter the pool when their use count reaches the retranslation
+threshold.  The optimisation phase is triggered either when the pool is
+full ("a sufficient number of blocks are registered") or when a pooled
+block registers a second time — both straight from the paper's
+description of IA32EL.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .config import DBTConfig
+
+
+class CandidatePool:
+    """Registered-but-not-yet-optimised blocks plus the trigger logic."""
+
+    def __init__(self, config: DBTConfig):
+        self.config = config
+        self._order: List[int] = []
+        self._members: Set[int] = set()
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._members
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    @property
+    def blocks(self) -> List[int]:
+        """Pool contents in registration order."""
+        return list(self._order)
+
+    def register(self, block: int) -> bool:
+        """Register ``block``; returns True if optimisation should trigger.
+
+        A first registration adds the block and triggers when the pool
+        reaches ``pool_trigger_size``.  A second registration of a block
+        already pooled triggers immediately (when enabled).
+        """
+        if block in self._members:
+            return self.config.register_twice_triggers
+        self._members.add(block)
+        self._order.append(block)
+        return len(self._order) >= self.config.pool_trigger_size
+
+    def drain(self) -> List[int]:
+        """Empty the pool, returning its contents (an optimisation ran)."""
+        drained = self._order
+        self._order = []
+        self._members = set()
+        return drained

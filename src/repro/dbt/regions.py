@@ -1,0 +1,251 @@
+"""Region formation — the optimisation phase's block grouping.
+
+Given the candidate pool, the current profiling counters and the static
+CFG, the optimiser groups hot blocks into regions (paper §1):
+
+* a candidate that heads a natural loop seeds a **loop region**: the likely
+  part of the loop body, with edges back to the header recorded as back
+  edges and everything leaving the grown set as side exits;
+* any other candidate seeds a **non-loop (linear) region**: a DAG grown
+  along likely edges (Chang–Hwu-style trace growing generalised to admit
+  re-merging diamonds, as in the paper's Figure 6 example), with a
+  designated *tail* block that defines the completion probability.
+
+Growth follows an edge only when its probability (from the *current*,
+i.e. initial, profile) is at least ``config.include_prob`` and the target
+is hot enough.  A block already owned by an earlier region may be
+*duplicated* into a new region — this is exactly the duplication that
+forces the AVEP→NAVEP normalisation of paper §3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..cfg.graph import ControlFlowGraph
+from ..cfg.loops import LoopForest
+from ..profiles.model import EdgeKind, Region, RegionKind
+from .config import DBTConfig
+
+#: Callback giving the optimiser's view of a block's current counters:
+#: block id -> (use, taken), both frozen-aware.
+CounterView = Callable[[int], Tuple[int, int]]
+
+
+@dataclass
+class FormationResult:
+    """Outcome of one optimisation event.
+
+    Attributes:
+        regions: regions created, in formation order.
+        newly_optimized: original block ids frozen by this event.
+    """
+
+    regions: List[Region]
+    newly_optimized: Set[int]
+
+
+def _branch_probability(counters: CounterView, block: int) -> Optional[float]:
+    use, taken = counters(block)
+    if use <= 0:
+        return None
+    return taken / use
+
+
+def _edge_probs(cfg: ControlFlowGraph, counters: CounterView,
+                block: int) -> List[Tuple[int, EdgeKind, float]]:
+    """Successors of ``block`` with profile-estimated probabilities."""
+    succ = cfg.successors(block)
+    if not succ:
+        return []
+    if len(succ) == 1:
+        return [(succ[0], EdgeKind.ALWAYS, 1.0)]
+    bp = _branch_probability(counters, block)
+    p = 0.5 if bp is None else bp
+    return [(succ[0], EdgeKind.TAKEN, p),
+            (succ[1], EdgeKind.FALL, 1.0 - p)]
+
+
+class _RegionBuilder:
+    """Grows one region breadth-first along likely edges."""
+
+    def __init__(self, cfg: ControlFlowGraph, counters: CounterView,
+                 config: DBTConfig, region_id: int, seed: int,
+                 kind: RegionKind, body_filter: Optional[Set[int]],
+                 includable: Callable[[int], bool], formed_at: int,
+                 loop_headers: Optional[Set[int]] = None):
+        self.cfg = cfg
+        self.counters = counters
+        self.config = config
+        self.kind = kind
+        self.seed = seed
+        self.body_filter = body_filter
+        self.includable = includable
+        self.loop_headers = loop_headers or set()
+        self.members: List[int] = [seed]
+        self.instance_of: Dict[int, int] = {seed: 0}
+        self.internal: List[Tuple[int, int, EdgeKind]] = []
+        self.exits: List[Tuple[int, EdgeKind, int]] = []
+        self.backs: List[Tuple[int, EdgeKind]] = []
+        self.region_id = region_id
+        self.formed_at = formed_at
+        self._succ_adj: Dict[int, List[int]] = {}
+
+    def _creates_cycle(self, src_inst: int, dst_inst: int) -> bool:
+        """Would internal edge src->dst make the instance graph cyclic?"""
+        # DFS from dst through existing internal edges looking for src.
+        stack = [dst_inst]
+        seen = {dst_inst}
+        while stack:
+            v = stack.pop()
+            if v == src_inst:
+                return True
+            for s in self._succ_adj.get(v, ()):
+                if s not in seen:
+                    seen.add(s)
+                    stack.append(s)
+        return False
+
+    def _add_internal(self, src_inst: int, dst_inst: int,
+                      kind: EdgeKind) -> None:
+        self.internal.append((src_inst, dst_inst, kind))
+        self._succ_adj.setdefault(src_inst, []).append(dst_inst)
+
+    def grow(self) -> Region:
+        """Grow from the seed and return the finished region."""
+        config = self.config
+        queue = [0]
+        qi = 0
+        while qi < len(queue):
+            inst = queue[qi]
+            qi += 1
+            block = self.members[inst]
+            for target, ekind, prob in _edge_probs(self.cfg, self.counters,
+                                                   block):
+                if self.kind is RegionKind.LOOP and target == self.seed:
+                    self.backs.append((inst, ekind))
+                    continue
+                eligible = (
+                    prob >= config.include_prob
+                    and (self.body_filter is None
+                         or target in self.body_filter)
+                    # Classic trace-selection boundary: never grow across a
+                    # loop header — it stays available to seed its own loop
+                    # region and regions stay internally acyclic.
+                    and target not in self.loop_headers
+                    and self.includable(target)
+                    and len(self.members) < config.max_region_blocks)
+                existing = self.instance_of.get(target)
+                if existing is not None:
+                    # Re-merge onto an already included block if acyclic.
+                    if prob >= config.include_prob and \
+                            not self._creates_cycle(inst, existing):
+                        self._add_internal(inst, existing, ekind)
+                    else:
+                        self.exits.append((inst, ekind, target))
+                elif eligible:
+                    new_inst = len(self.members)
+                    self.members.append(target)
+                    self.instance_of[target] = new_inst
+                    self._add_internal(inst, new_inst, ekind)
+                    queue.append(new_inst)
+                else:
+                    self.exits.append((inst, ekind, target))
+
+        region = Region(
+            region_id=self.region_id, kind=self.kind, members=self.members,
+            internal_edges=self.internal, exit_edges=self.exits,
+            back_edges=self.backs, formed_at=self.formed_at)
+        region.tail = self._main_path_tail()
+        # A "loop" whose back edges all failed to materialise degrades to a
+        # linear region (can happen when the latch is not hot enough).
+        if self.kind is RegionKind.LOOP and not region.back_edges:
+            region.kind = RegionKind.LINEAR
+        return region
+
+    def _main_path_tail(self) -> int:
+        """Instance at the end of the most-likely internal path."""
+        edges_from: Dict[int, List[Tuple[float, int]]] = {}
+        for src, dst, ekind in self.internal:
+            bp = _branch_probability(self.counters, self.members[src])
+            edges_from.setdefault(src, []).append(
+                (ekind.probability(bp), dst))
+        inst = 0
+        visited = {0}
+        while True:
+            candidates = [(p, d) for p, d in edges_from.get(inst, ())
+                          if d not in visited]
+            if not candidates:
+                return inst
+            inst = max(candidates)[1]
+            visited.add(inst)
+
+
+class RegionFormer:
+    """Forms regions for optimisation events against a fixed CFG."""
+
+    def __init__(self, cfg: ControlFlowGraph, loops: LoopForest,
+                 config: DBTConfig):
+        self.cfg = cfg
+        self.loops = loops
+        self.config = config
+        self._loop_of_header = {loop.header: loop for loop in loops}
+
+    def form(self, pool: Sequence[int], counters: CounterView,
+             already_optimized: Set[int], next_region_id: int,
+             formed_at: int = 0) -> FormationResult:
+        """Run one optimisation event.
+
+        Args:
+            pool: registered candidate blocks, hottest first preferred but
+                any order accepted (re-sorted internally by use count).
+            counters: frozen-aware view of current use/taken counters.
+            already_optimized: blocks frozen by earlier events (they may be
+                duplicated into new regions but never seed one).
+            next_region_id: id to assign to the first region formed.
+            formed_at: global step of this optimisation event.
+        """
+        config = self.config
+        pool_set = set(pool)
+        hot_floor = config.hot_fraction * config.threshold
+
+        def includable(block: int) -> bool:
+            if block in pool_set:
+                return True
+            if not config.allow_duplication and (
+                    block in already_optimized or block in placed):
+                return False
+            use, _ = counters(block)
+            return use >= hot_floor
+
+        placed: Set[int] = set()
+        regions: List[Region] = []
+        # Loop headers seed first (loops are the premium optimisation
+        # targets), then hottest first; ties broken by block id so the live
+        # and replay pipelines form byte-identical regions.
+        headers = set(self._loop_of_header)
+        seeds = sorted(pool_set,
+                       key=lambda b: (b not in headers, -counters(b)[0], b))
+        for seed in seeds:
+            if seed in placed or seed in already_optimized:
+                continue  # already swallowed or frozen by a prior event
+            loop = self._loop_of_header.get(seed)
+            if loop is not None:
+                kind = RegionKind.LOOP
+                body_filter: Optional[Set[int]] = set(loop.body)
+            else:
+                kind = RegionKind.LINEAR
+                body_filter = None
+            builder = _RegionBuilder(
+                self.cfg, counters, config,
+                region_id=next_region_id + len(regions), seed=seed,
+                kind=kind, body_filter=body_filter, includable=includable,
+                formed_at=formed_at, loop_headers=headers)
+            region = builder.grow()
+            regions.append(region)
+            placed.update(region.members)
+
+        newly = {b for region in regions for b in region.members
+                 if b not in already_optimized}
+        return FormationResult(regions=regions, newly_optimized=newly)

@@ -1,0 +1,154 @@
+"""Trace-replay DBT: derive INIP(T) for any threshold from one trace.
+
+Running the live translator once per (benchmark, threshold) pair would
+re-walk the whole event stream for every threshold.  Because the DBT's
+decisions depend only on *when each block reaches multiples of T* — sparse
+events — the pipeline can be replayed over the per-block event index of a
+recorded :class:`~repro.stochastic.trace.ExecutionTrace` in time
+proportional to the number of registrations, not the number of steps.
+
+The replay is algebraically identical to :class:`repro.dbt.translator
+.TwoPhaseDBT` fed the same trace; ``tests/dbt/test_replay_equivalence.py``
+asserts snapshot-for-snapshot equality.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cfg.graph import ControlFlowGraph
+from ..cfg.loops import LoopForest, find_loops
+from ..profiles.model import BlockProfile, ProfileSnapshot, Region
+from ..stochastic.trace import ExecutionTrace
+from .config import DBTConfig
+from .pool import CandidatePool
+from .regions import RegionFormer
+
+
+class ReplayDBT:
+    """Replays the two-phase pipeline over a recorded trace.
+
+    Args:
+        trace: the recorded run (shared across thresholds).
+        cfg: static CFG the trace was produced from.
+        config: DBT configuration (the threshold lives here).
+        loops: optional precomputed loop forest (recomputed otherwise —
+            pass it in when sweeping thresholds over one CFG).
+    """
+
+    def __init__(self, trace: ExecutionTrace, cfg: ControlFlowGraph,
+                 config: DBTConfig, loops: Optional[LoopForest] = None):
+        if trace.num_blocks != cfg.num_nodes:
+            raise ValueError("trace and CFG disagree on block count")
+        self.trace = trace
+        self.cfg = cfg
+        self.config = config
+        self.loops = loops or find_loops(cfg)
+        self.former = RegionFormer(cfg, self.loops, config)
+
+        self.freeze_step: Dict[int, int] = {}
+        self.regions: List[Region] = []
+        self.optimized: Set[int] = set()
+        self.optimization_events: List[Tuple[int, List[int]]] = []
+        self._events = trace.events()
+        self._ran = False
+
+    # -- frozen-aware counter view --------------------------------------------
+
+    def _counters_at(self, now: int):
+        """Counter view at live-step ``now`` (= trace position + 1)."""
+        events = self._events
+        freeze_step = self.freeze_step
+
+        def view(block: int) -> Tuple[int, int]:
+            ev = events.get(block)
+            if ev is None:
+                return (0, 0)
+            limit = freeze_step.get(block)
+            upto = now if limit is None else min(now, limit)
+            use = ev.use_before(upto)
+            taken = int(ev.taken_prefix[use])
+            return (use, taken)
+
+        return view
+
+    # -- the replay ----------------------------------------------------------------
+
+    def run(self) -> "ReplayDBT":
+        """Process every registration event in trace order."""
+        if self._ran:
+            return self
+        self._ran = True
+        threshold = self.config.threshold
+        pool = CandidatePool(self.config)
+        events = self._events
+
+        # Heap of (trace position, block, registration ordinal k): the
+        # position of each block's (k*T)-th execution.  Scheduled lazily so
+        # tiny thresholds don't enqueue every step up front.
+        heap: List[Tuple[int, int, int]] = []
+        for block, ev in events.items():
+            pos = ev.step_of_use(threshold)
+            if pos is not None:
+                heap.append((pos, block, 1))
+        heapq.heapify(heap)
+
+        while heap:
+            pos, block, k = heapq.heappop(heap)
+            if block in self.freeze_step:
+                continue  # counting stopped before this occurrence
+            trigger = pool.register(block)
+            if trigger:
+                self._optimize(pool, now=pos + 1)
+            if block not in self.freeze_step:
+                nxt = events[block].step_of_use((k + 1) * threshold)
+                if nxt is not None:
+                    heapq.heappush(heap, (nxt, block, k + 1))
+        return self
+
+    def _optimize(self, pool: CandidatePool, now: int) -> None:
+        pool_blocks = [b for b in pool.drain() if b not in self.optimized]
+        if not pool_blocks:
+            return
+        result = self.former.form(
+            pool_blocks, self._counters_at(now), self.optimized,
+            next_region_id=len(self.regions), formed_at=now)
+        self.regions.extend(result.regions)
+        for b in result.newly_optimized:
+            self.freeze_step[b] = now
+        self.optimized.update(result.newly_optimized)
+        self.optimization_events.append((now, sorted(result.newly_optimized)))
+
+    # -- output ---------------------------------------------------------------------
+
+    def snapshot(self, input_name: str = "ref") -> ProfileSnapshot:
+        """The INIP(T) profile (runs the replay on first call)."""
+        self.run()
+        blocks: Dict[int, BlockProfile] = {}
+        profiling_ops = 0
+        for block, ev in self._events.items():
+            limit = self.freeze_step.get(block)
+            use = ev.use if limit is None else ev.use_before(limit)
+            taken = int(ev.taken_prefix[use])
+            if use > 0:
+                blocks[block] = BlockProfile(
+                    block_id=block, use=use, taken=taken, frozen_at=limit)
+            profiling_ops += use + taken
+        snapshot = ProfileSnapshot(
+            label=f"INIP({self.config.threshold})",
+            input_name=input_name,
+            threshold=self.config.threshold,
+            blocks=blocks,
+            regions=list(self.regions),
+            total_steps=self.trace.num_steps,
+            profiling_ops=profiling_ops)
+        snapshot.validate()
+        return snapshot
+
+
+def inip_from_trace(trace: ExecutionTrace, cfg: ControlFlowGraph,
+                    config: DBTConfig, loops: Optional[LoopForest] = None,
+                    input_name: str = "ref") -> ProfileSnapshot:
+    """One-shot helper: replay ``trace`` and return the INIP(T) snapshot."""
+    return ReplayDBT(trace, cfg, config, loops=loops).snapshot(input_name)

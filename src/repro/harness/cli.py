@@ -1,0 +1,152 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Examples::
+
+    python -m repro.harness.cli                 # all figures, full suite
+    python -m repro.harness.cli --figures 8 17  # just Figures 8 and 17
+    python -m repro.harness.cli --quick         # 10% run lengths (smoke)
+    python -m repro.harness.cli --benchmarks gzip mcf --no-perf
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..workloads.spec import SIM_THRESHOLDS, benchmark_names
+from .figures import FIGURES
+from .paper_example import compute_example
+from .runner import DEFAULT_CACHE_DIR, run_full_study
+from .tables import render
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Reproduce the figures of 'The Accuracy of Initial "
+                    "Prediction in Two-Phase Dynamic Binary Translators' "
+                    "(CGO 2004) on the simulated DBT.")
+    parser.add_argument("--figures", type=int, nargs="*", default=None,
+                        metavar="N",
+                        help="figure numbers to print (default: all; "
+                             "5 prints the worked example)")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="benchmark subset (default: all 26)")
+    parser.add_argument("--quick", action="store_true",
+                        help="run at 10%% of the run lengths (smoke test)")
+    parser.add_argument("--no-perf", action="store_true",
+                        help="skip the Figure 17 cost model")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the results cache")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print per-benchmark progress")
+    parser.add_argument("--summary", metavar="BENCH", default=None,
+                        help="print one benchmark's full study card "
+                             "and exit")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write each printed figure as CSV "
+                             "into DIR")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the study and print the requested figures."""
+    args = build_parser().parse_args(argv)
+    if args.summary is not None:
+        return print_summary(args.summary,
+                             steps_scale=0.1 if args.quick else 1.0,
+                             include_perf=not args.no_perf,
+                             use_cache=not args.no_cache)
+    wanted = args.figures if args.figures else sorted(FIGURES) + [5]
+
+    if args.benchmarks:
+        unknown = set(args.benchmarks) - set(benchmark_names())
+        if unknown:
+            print(f"unknown benchmarks: {sorted(unknown)}", file=sys.stderr)
+            return 2
+
+    if 5 in wanted:
+        example = compute_example()
+        print("Figure 5 (worked example, paper values 0.21 / 0 / 0.27):")
+        print(f"  Sd.BP = {example.sd_bp:.2f}")
+        print(f"  Sd.CP = {example.sd_cp:.2f}")
+        print(f"  Sd.LP = {example.sd_lp:.2f}")
+        print()
+        wanted = [n for n in wanted if n != 5]
+    if not wanted:
+        return 0
+
+    cache_dir = None if args.no_cache else DEFAULT_CACHE_DIR
+    results = run_full_study(
+        names=args.benchmarks,
+        thresholds=SIM_THRESHOLDS,
+        steps_scale=0.1 if args.quick else 1.0,
+        include_perf=not args.no_perf,
+        cache_dir=cache_dir,
+        verbose=args.verbose)
+
+    for number in wanted:
+        builder = FIGURES.get(number)
+        if builder is None:
+            print(f"no such figure: {number}", file=sys.stderr)
+            return 2
+        table = builder(results)
+        print(render(table))
+        print()
+        if args.csv:
+            import os
+
+            from .tables import to_csv
+            os.makedirs(args.csv, exist_ok=True)
+            path = os.path.join(args.csv, f"fig{number:02d}.csv")
+            with open(path, "w") as f:
+                f.write(to_csv(table))
+    return 0
+
+
+
+def print_summary(name: str, steps_scale: float = 1.0,
+                  include_perf: bool = True, use_cache: bool = True) -> int:
+    """Print one benchmark's complete study card."""
+    from ..workloads.spec import nominal_label
+    from .tables import Table
+
+    if name not in benchmark_names():
+        print(f"unknown benchmark {name!r}", file=sys.stderr)
+        return 2
+    results = run_full_study(
+        names=[name], thresholds=SIM_THRESHOLDS, steps_scale=steps_scale,
+        include_perf=include_perf,
+        cache_dir=DEFAULT_CACHE_DIR if use_cache else None)
+    result = results.benchmarks[name]
+
+    print(f"{name} ({result.suite.upper()}): training reference "
+          f"Sd.BP={result.train_sd_bp:.3f} "
+          f"mismatch={result.train_bp_mismatch:.3f}")
+    if result.train_sd_cp is not None:
+        print(f"  train-region references: Sd.CP={result.train_sd_cp:.3f}"
+              + (f" Sd.LP={result.train_sd_lp:.3f}"
+                 if result.train_sd_lp is not None else ""))
+    columns = ["T", "Sd.BP", "mis", "Sd.CP", "Sd.LP", "lp-mis",
+               "regions", "ops/train"]
+    if include_perf:
+        columns.append("perf")
+    table = Table(title=f"study card: {name}", columns=columns)
+    perf = result.perf_relative() if include_perf and result.perf else {}
+    for t in result.thresholds:
+        row = [nominal_label(t), result.sd_bp.get(t),
+               result.bp_mismatch.get(t), result.sd_cp.get(t),
+               result.sd_lp.get(t), result.lp_mismatch.get(t),
+               result.num_regions.get(t),
+               result.profiling_ops.get(t, 0) / max(result.train_ops, 1)]
+        if include_perf:
+            row.append(perf.get(t))
+        table.add_row(*row)
+    print(render(table))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,210 @@
+"""One function per paper figure: turn study results into tables.
+
+Each ``fig_*`` function regenerates the rows/series of the corresponding
+figure in the paper's evaluation section (§4) from a
+:class:`~repro.harness.results.StudyResults`.  Thresholds are reported
+with their paper-nominal labels (simulator thresholds × 10, see
+DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..workloads.spec import nominal_label
+from .results import (BenchmarkResult, StudyResults, average_scalar,
+                      average_series)
+from .tables import Table
+
+
+def _thresholds(results: StudyResults) -> List[int]:
+    any_result = next(iter(results.benchmarks.values()))
+    return sorted(any_result.thresholds)
+
+
+def _suite_average_table(results: StudyResults, attribute: str,
+                         train_attribute: Optional[str], title: str) -> Table:
+    thresholds = _thresholds(results)
+    int_results = results.of_suite("int")
+    fp_results = results.of_suite("fp")
+    int_series = average_series(int_results, attribute, thresholds)
+    fp_series = average_series(fp_results, attribute, thresholds)
+    columns = ["threshold", "int", "fp"]
+    if train_attribute is not None:
+        columns += ["int(train)", "fp(train)"]
+        int_train = average_scalar(int_results, train_attribute)
+        fp_train = average_scalar(fp_results, train_attribute)
+    table = Table(title=title, columns=columns)
+    for t in thresholds:
+        row = [nominal_label(t), int_series[t], fp_series[t]]
+        if train_attribute is not None:
+            row += [int_train, fp_train]
+        table.add_row(*row)
+    return table
+
+
+def _per_benchmark_table(results: StudyResults, suite: str, attribute: str,
+                         train_attribute: Optional[str],
+                         title: str) -> Table:
+    thresholds = _thresholds(results)
+    suite_results = results.of_suite(suite)
+    columns = ["threshold"] + [r.name for r in suite_results]
+    table = Table(title=title, columns=columns)
+    for t in thresholds:
+        table.add_row(nominal_label(t),
+                      *[getattr(r, attribute).get(t)
+                        for r in suite_results])
+    if train_attribute is not None:
+        table.add_row("train",
+                      *[getattr(r, train_attribute)
+                        for r in suite_results])
+    return table
+
+
+# -- the figures --------------------------------------------------------------
+
+def fig08_sd_bp(results: StudyResults) -> Table:
+    """Figure 8: SD of branch probabilities, INT & FP averages + train."""
+    return _suite_average_table(
+        results, "sd_bp", "train_sd_bp",
+        "Figure 8: standard deviations of branch probabilities")
+
+
+def fig09_sd_bp_int(results: StudyResults) -> Table:
+    """Figure 9: SD of branch probabilities per INT benchmark."""
+    return _per_benchmark_table(
+        results, "int", "sd_bp", "train_sd_bp",
+        "Figure 9: Sd.BP for SPEC2000 INT")
+
+
+def fig10_bp_mismatch(results: StudyResults) -> Table:
+    """Figure 10: BP range-mismatch rates, INT & FP averages + train."""
+    return _suite_average_table(
+        results, "bp_mismatch", "train_bp_mismatch",
+        "Figure 10: branch probability mismatch rates")
+
+
+def fig11_bp_mismatch_int(results: StudyResults) -> Table:
+    """Figure 11: BP mismatch rates per INT benchmark."""
+    return _per_benchmark_table(
+        results, "int", "bp_mismatch", "train_bp_mismatch",
+        "Figure 11: branch probability mismatch rates (INT)")
+
+
+def fig12_bp_mismatch_fp(results: StudyResults) -> Table:
+    """Figure 12: BP mismatch rates per FP benchmark."""
+    return _per_benchmark_table(
+        results, "fp", "bp_mismatch", "train_bp_mismatch",
+        "Figure 12: branch probability mismatch rates (FP)")
+
+
+def fig13_sd_cp(results: StudyResults) -> Table:
+    """Figure 13: SD of completion probabilities, suite averages.
+
+    Adds the Sd.CP(train) reference the paper lists as future work
+    (regions constructed from the training profile)."""
+    return _suite_average_table(
+        results, "sd_cp", "train_sd_cp",
+        "Figure 13: standard deviation of completion probabilities")
+
+
+def fig14_sd_lp(results: StudyResults) -> Table:
+    """Figure 14: SD of loop-back probabilities, suite averages.
+
+    Adds the Sd.LP(train) reference the paper lists as future work."""
+    return _suite_average_table(
+        results, "sd_lp", "train_sd_lp",
+        "Figure 14: standard deviation of loop-back probabilities")
+
+
+def fig15_lp_mismatch(results: StudyResults) -> Table:
+    """Figure 15: trip-count class mismatch rates, suite averages."""
+    return _suite_average_table(
+        results, "lp_mismatch", None,
+        "Figure 15: loop-back probability mismatch rate")
+
+
+def fig16_lp_mismatch_int(results: StudyResults) -> Table:
+    """Figure 16: trip-count class mismatch per INT benchmark."""
+    return _per_benchmark_table(
+        results, "int", "lp_mismatch", None,
+        "Figure 16: loop-back probability mismatch rate (INT)")
+
+
+def _mean(values: List[float]) -> Optional[float]:
+    """Arithmetic mean of the available values (the paper averages the
+    per-benchmark relative-performance numbers directly)."""
+    values = [v for v in values if v is not None and v > 0]
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def fig17_performance(results: StudyResults,
+                      base_threshold: int = 1) -> Table:
+    """Figure 17: relative performance vs threshold (int, int w/o perlbmk,
+    fp), normalised to the base run that optimises after one execution."""
+    thresholds = _thresholds(results)
+    int_results = [r for r in results.of_suite("int") if r.perf]
+    fp_results = [r for r in results.of_suite("fp") if r.perf]
+    int_no_perl = [r for r in int_results if r.name != "perlbmk"]
+
+    def series(group: List[BenchmarkResult]) -> Dict[int, Optional[float]]:
+        out: Dict[int, Optional[float]] = {}
+        for t in thresholds:
+            out[t] = _mean([r.perf_relative(base_threshold).get(t)
+                               for r in group])
+        return out
+
+    int_series = series(int_results)
+    no_perl_series = series(int_no_perl)
+    fp_series = series(fp_results)
+    table = Table(
+        title="Figure 17: performance impact of initial profiles "
+              "(relative to threshold-1 base)",
+        columns=["threshold", "int", "int no perl", "fp"])
+    for t in thresholds:
+        table.add_row(nominal_label(t), int_series[t], no_perl_series[t],
+                      fp_series[t])
+    table.notes.append("base: retranslation threshold 1 "
+                       "(optimise every block executed at least once)")
+    return table
+
+
+def fig18_overhead(results: StudyResults) -> Table:
+    """Figure 18: profiling operations normalised to the training run."""
+    thresholds = _thresholds(results)
+    table = Table(
+        title="Figure 18: profiling operations (training run = 1)",
+        columns=["threshold", "int", "fp", "all"])
+    for t in thresholds:
+        per_suite: Dict[str, List[float]] = {"int": [], "fp": []}
+        for result in results.benchmarks.values():
+            ops = result.profiling_ops.get(t)
+            if ops is not None and result.train_ops > 0:
+                per_suite[result.suite].append(ops / result.train_ops)
+        int_avg = (sum(per_suite["int"]) / len(per_suite["int"])
+                   if per_suite["int"] else None)
+        fp_avg = (sum(per_suite["fp"]) / len(per_suite["fp"])
+                  if per_suite["fp"] else None)
+        both = per_suite["int"] + per_suite["fp"]
+        all_avg = sum(both) / len(both) if both else None
+        table.add_row(nominal_label(t), int_avg, fp_avg, all_avg)
+    table.notes.append("training run profiling operations = 1.0")
+    return table
+
+
+#: Registry used by the CLI: figure number -> builder.
+FIGURES = {
+    8: fig08_sd_bp,
+    9: fig09_sd_bp_int,
+    10: fig10_bp_mismatch,
+    11: fig11_bp_mismatch_int,
+    12: fig12_bp_mismatch_fp,
+    13: fig13_sd_cp,
+    14: fig14_sd_lp,
+    15: fig15_lp_mismatch,
+    16: fig16_lp_mismatch_int,
+    17: fig17_performance,
+    18: fig18_overhead,
+}

@@ -1,0 +1,159 @@
+"""Aggregated study results: everything the figures plot, serialisable.
+
+A full-suite run is expensive (tens of millions of simulated block
+executions), so the harness distils each benchmark's study into a compact
+:class:`BenchmarkResult` of plain numbers, and persists the whole
+:class:`StudyResults` as JSON for reuse across benchmark invocations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+_FORMAT_VERSION = 4
+
+
+@dataclass
+class PerfPoint:
+    """Cost-model output for one threshold (Figure 17 raw material)."""
+
+    total: float
+    unoptimized: float
+    optimized: float
+    side_exits: float
+    translation: float
+    num_side_exits: int
+    optimized_fraction: float
+
+
+@dataclass
+class BenchmarkResult:
+    """One benchmark's numbers across the threshold sweep.
+
+    All per-threshold maps are keyed by the *simulator* threshold; use
+    :func:`repro.workloads.nominal_label` for paper-nominal axis labels.
+    ``None`` values mean "nothing to compare" at that point.
+    """
+
+    name: str
+    suite: str
+    thresholds: List[int]
+    sd_bp: Dict[int, Optional[float]]
+    bp_mismatch: Dict[int, Optional[float]]
+    sd_cp: Dict[int, Optional[float]]
+    sd_lp: Dict[int, Optional[float]]
+    lp_mismatch: Dict[int, Optional[float]]
+    train_sd_bp: Optional[float]
+    train_bp_mismatch: Optional[float]
+    train_sd_cp: Optional[float]
+    train_sd_lp: Optional[float]
+    profiling_ops: Dict[int, int]
+    train_ops: int
+    avep_ops: int
+    num_regions: Dict[int, int] = field(default_factory=dict)
+    perf: Dict[int, PerfPoint] = field(default_factory=dict)
+
+    def perf_relative(self, base_threshold: int = 1) -> Dict[int, float]:
+        """Figure 17 normalisation: ``cost(base)/cost(T)`` per threshold."""
+        if base_threshold not in self.perf:
+            raise KeyError(f"no perf point for base {base_threshold}")
+        base = self.perf[base_threshold].total
+        return {t: base / p.total for t, p in self.perf.items()}
+
+
+@dataclass
+class StudyResults:
+    """The whole suite's results."""
+
+    benchmarks: Dict[str, BenchmarkResult] = field(default_factory=dict)
+
+    def names(self, suite: Optional[str] = None) -> List[str]:
+        """Benchmark names, optionally filtered by suite."""
+        return sorted(n for n, r in self.benchmarks.items()
+                      if suite is None or r.suite == suite)
+
+    def of_suite(self, suite: str) -> List[BenchmarkResult]:
+        """All results of one suite."""
+        return [self.benchmarks[n] for n in self.names(suite)]
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write results as JSON (creating parent directories)."""
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        payload = {
+            "version": _FORMAT_VERSION,
+            "benchmarks": {name: _result_to_dict(result)
+                           for name, result in self.benchmarks.items()},
+        }
+        with open(path, "w") as f:
+            json.dump(payload, f)
+
+    @classmethod
+    def load(cls, path: str) -> "StudyResults":
+        """Read results previously written by :meth:`save`."""
+        with open(path) as f:
+            payload = json.load(f)
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError("stale results file (format version mismatch)")
+        results = cls()
+        for name, data in payload["benchmarks"].items():
+            results.benchmarks[name] = _result_from_dict(data)
+        return results
+
+
+def _intkeys(d: Dict) -> Dict[int, object]:
+    return {int(k): v for k, v in d.items()}
+
+
+def _result_to_dict(result: BenchmarkResult) -> Dict:
+    data = asdict(result)
+    return data
+
+
+def _result_from_dict(data: Dict) -> BenchmarkResult:
+    perf = {int(k): PerfPoint(**v) for k, v in data.pop("perf").items()}
+    result = BenchmarkResult(
+        name=data["name"], suite=data["suite"],
+        thresholds=list(data["thresholds"]),
+        sd_bp=_intkeys(data["sd_bp"]),
+        bp_mismatch=_intkeys(data["bp_mismatch"]),
+        sd_cp=_intkeys(data["sd_cp"]),
+        sd_lp=_intkeys(data["sd_lp"]),
+        lp_mismatch=_intkeys(data["lp_mismatch"]),
+        train_sd_bp=data["train_sd_bp"],
+        train_bp_mismatch=data["train_bp_mismatch"],
+        train_sd_cp=data.get("train_sd_cp"),
+        train_sd_lp=data.get("train_sd_lp"),
+        profiling_ops=_intkeys(data["profiling_ops"]),
+        train_ops=data["train_ops"],
+        avep_ops=data["avep_ops"],
+        num_regions=_intkeys(data["num_regions"]),
+        perf=perf)
+    return result
+
+
+def average_series(results: List[BenchmarkResult], attribute: str,
+                   thresholds: List[int]) -> Dict[int, Optional[float]]:
+    """Average a per-threshold metric across benchmarks, skipping Nones.
+
+    This is how the paper's suite lines (e.g. Figure 8's INT/FP averages)
+    are formed from the individual benchmark curves.
+    """
+    out: Dict[int, Optional[float]] = {}
+    for t in thresholds:
+        values = [getattr(r, attribute).get(t) for r in results]
+        values = [v for v in values if v is not None]
+        out[t] = sum(values) / len(values) if values else None
+    return out
+
+
+def average_scalar(results: List[BenchmarkResult],
+                   attribute: str) -> Optional[float]:
+    """Average a per-benchmark scalar (e.g. the train SD), skipping Nones."""
+    values = [getattr(r, attribute) for r in results]
+    values = [v for v in values if v is not None]
+    return sum(values) / len(values) if values else None

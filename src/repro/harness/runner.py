@@ -1,0 +1,167 @@
+"""Full-suite study runner with disk caching.
+
+``run_full_study`` walks every benchmark once per input, sweeps the
+thresholds with the replay DBT, runs the §2 comparisons and the §4.4/§4.5
+models, and returns a :class:`~repro.harness.results.StudyResults`.  The
+result is cached on disk (keyed by a configuration fingerprint) so the
+eleven figure benchmarks and the CLI share one computation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.study import run_threshold_sweep
+from ..dbt.codecache import translation_map_from_replay
+from ..dbt.config import DBTConfig
+from ..dbt.replay import ReplayDBT
+from ..perfmodel.costs import DEFAULT_COSTS, CostModel
+from ..perfmodel.execution import estimate_cost
+from ..workloads.spec import (BASE_THRESHOLD, SIM_THRESHOLDS,
+                              SyntheticBenchmark, all_benchmarks,
+                              get_benchmark)
+from .results import BenchmarkResult, PerfPoint, StudyResults
+
+#: Default on-disk cache location (project-relative).
+DEFAULT_CACHE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                 "..", "..", "..", ".cache")
+
+
+def _fingerprint(names: Sequence[str], thresholds: Sequence[int],
+                 config: DBTConfig, costs: CostModel,
+                 steps_scale: float, include_perf: bool) -> str:
+    payload = json.dumps({
+        "names": list(names),
+        "thresholds": list(thresholds),
+        "config": config.__dict__,
+        "costs": costs.__dict__,
+        "steps_scale": steps_scale,
+        "include_perf": include_perf,
+    }, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def study_benchmark(benchmark: SyntheticBenchmark,
+                    thresholds: Sequence[int],
+                    config: Optional[DBTConfig] = None,
+                    costs: CostModel = DEFAULT_COSTS,
+                    steps_scale: float = 1.0,
+                    include_perf: bool = True) -> BenchmarkResult:
+    """Run the complete study for one benchmark and distil the numbers.
+
+    Args:
+        benchmark: the workload.
+        thresholds: simulator thresholds to sweep.
+        config: DBT knobs (threshold overridden per sweep point).
+        costs: the Figure 17 cost calibration.
+        steps_scale: scales run lengths (sub-1.0 for quick smoke runs;
+            phase boundaries are fractional so they scale along).
+        include_perf: also run the cost model (the most expensive stage).
+    """
+    config = config or DBTConfig()
+    if steps_scale != 1.0:
+        benchmark.run_steps = max(int(benchmark.run_steps * steps_scale),
+                                  20_000)
+        benchmark.train_steps = max(
+            int((benchmark.train_steps or benchmark.run_steps // 3) *
+                steps_scale), 10_000)
+
+    ref_trace = benchmark.trace("ref")
+    train_trace = benchmark.trace("train")
+    loops = benchmark.loop_forest()
+    study = run_threshold_sweep(
+        benchmark.name, benchmark.cfg, ref_trace, train_trace, thresholds,
+        base_config=config, loops=loops)
+
+    result = BenchmarkResult(
+        name=benchmark.name, suite=benchmark.suite,
+        thresholds=sorted(thresholds),
+        sd_bp={}, bp_mismatch={}, sd_cp={}, sd_lp={}, lp_mismatch={},
+        train_sd_bp=study.train_comparison.sd_bp,
+        train_bp_mismatch=study.train_comparison.bp_mismatch,
+        train_sd_cp=study.train_region_comparison.sd_cp,
+        train_sd_lp=study.train_region_comparison.sd_lp,
+        profiling_ops={}, train_ops=study.train_ops,
+        avep_ops=study.avep.profiling_ops)
+
+    for t in study.thresholds:
+        outcome = study.outcomes[t]
+        comparison = outcome.comparison
+        result.sd_bp[t] = comparison.sd_bp
+        result.bp_mismatch[t] = comparison.bp_mismatch
+        result.sd_cp[t] = comparison.sd_cp
+        result.sd_lp[t] = comparison.sd_lp
+        result.lp_mismatch[t] = comparison.lp_mismatch
+        result.profiling_ops[t] = outcome.profiling_ops
+        result.num_regions[t] = outcome.num_regions
+
+    if include_perf:
+        sizes = benchmark.workload.sizes
+        perf_thresholds = sorted(set(thresholds) | {BASE_THRESHOLD})
+        for t in perf_thresholds:
+            if t in study.outcomes:
+                replay = study.outcomes[t].replay
+            else:
+                replay = ReplayDBT(ref_trace, benchmark.cfg,
+                                   config.with_threshold(t), loops=loops)
+                replay.run()
+            tmap = translation_map_from_replay(replay)
+            breakdown = estimate_cost(ref_trace, tmap, sizes, costs)
+            result.perf[t] = PerfPoint(
+                total=breakdown.total,
+                unoptimized=breakdown.unoptimized,
+                optimized=breakdown.optimized,
+                side_exits=breakdown.side_exits,
+                translation=breakdown.translation,
+                num_side_exits=breakdown.num_side_exits,
+                optimized_fraction=breakdown.optimized_fraction)
+    return result
+
+
+def run_full_study(names: Optional[Iterable[str]] = None,
+                   thresholds: Sequence[int] = SIM_THRESHOLDS,
+                   config: Optional[DBTConfig] = None,
+                   costs: CostModel = DEFAULT_COSTS,
+                   steps_scale: float = 1.0,
+                   include_perf: bool = True,
+                   cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
+                   verbose: bool = False) -> StudyResults:
+    """Run (or load from cache) the full evaluation study.
+
+    With the default arguments this reproduces every figure's raw data for
+    the whole 26-benchmark suite — a few minutes of simulation on first
+    run, instant afterwards thanks to the JSON cache.
+    """
+    config = config or DBTConfig()
+    if names is None:
+        names = [b.name for b in all_benchmarks()]
+    names = list(names)
+
+    cache_path = None
+    if cache_dir is not None:
+        key = _fingerprint(names, thresholds, config, costs, steps_scale,
+                           include_perf)
+        cache_path = os.path.join(cache_dir, f"study-{key}.json")
+        if os.path.exists(cache_path):
+            try:
+                return StudyResults.load(cache_path)
+            except (ValueError, KeyError, json.JSONDecodeError):
+                pass  # stale format: recompute
+
+    results = StudyResults()
+    for name in names:
+        started = time.time()
+        benchmark = get_benchmark(name)
+        results.benchmarks[name] = study_benchmark(
+            benchmark, thresholds, config=config, costs=costs,
+            steps_scale=steps_scale, include_perf=include_perf)
+        if verbose:
+            print(f"  {name:10s} done in {time.time() - started:5.1f}s")
+
+    if cache_path is not None:
+        results.save(cache_path)
+    return results

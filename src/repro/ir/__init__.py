@@ -1,0 +1,34 @@
+"""VIR — the virtual guest ISA the simulated binary translator runs.
+
+Public surface:
+
+* :mod:`repro.ir.instructions` — opcodes, conditions, instruction
+  constructors.
+* :mod:`repro.ir.program` — :class:`BasicBlock`, :class:`Function`,
+  :class:`Program`, :class:`BlockRef`.
+* :mod:`repro.ir.builder` — fluent :class:`ProgramBuilder`.
+* :mod:`repro.ir.parser` / :mod:`repro.ir.printer` — textual assembly.
+* :mod:`repro.ir.validate` — structural validation.
+"""
+
+from .builder import BlockBuilder, FunctionBuilder, ProgramBuilder
+from .errors import (BuildError, ExecutionError, ParseError, ValidationError,
+                     VIRError)
+from .instructions import (BINARY_OPS, FLOAT_OPS, TERMINATORS, Cond,
+                           Instruction, Opcode)
+from .parser import parse_program
+from .samples import SAMPLES, branchy_prng, fibonacci, matmul, \
+    nested_counters, sieve, sum_loop
+from .printer import format_instruction, format_program
+from .program import BasicBlock, BlockRef, Function, Program
+from .validate import validate_program
+
+__all__ = [
+    "BINARY_OPS", "FLOAT_OPS", "TERMINATORS",
+    "BasicBlock", "BlockBuilder", "BlockRef", "BuildError", "Cond",
+    "ExecutionError", "Function", "FunctionBuilder", "Instruction", "Opcode",
+    "ParseError", "Program", "ProgramBuilder", "VIRError", "ValidationError",
+    "SAMPLES", "branchy_prng", "fibonacci", "format_instruction",
+    "format_program", "matmul", "nested_counters", "parse_program",
+    "sieve", "sum_loop", "validate_program",
+]

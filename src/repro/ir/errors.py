@@ -1,0 +1,49 @@
+"""Exception hierarchy for the VIR (Virtual Intermediate Representation) layer.
+
+All errors raised while constructing, parsing, validating, or executing VIR
+programs derive from :class:`VIRError`, so callers can catch one type to
+handle any malformed-program condition.
+"""
+
+from __future__ import annotations
+
+
+class VIRError(Exception):
+    """Base class for all VIR-related errors."""
+
+
+class BuildError(VIRError):
+    """Raised by the program builder when a program is assembled incorrectly.
+
+    Examples: adding an instruction after a terminator, defining the same
+    block label twice, or finishing a block without a terminator.
+    """
+
+
+class ParseError(VIRError):
+    """Raised by the textual assembler on malformed input.
+
+    Carries the 1-based source line number when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ValidationError(VIRError):
+    """Raised by the program validator for structurally invalid programs.
+
+    Examples: branch to an undefined label, a block with no terminator,
+    or a call to an undefined function.
+    """
+
+
+class ExecutionError(VIRError):
+    """Raised by the interpreter for runtime faults.
+
+    Examples: division by zero, out-of-bounds memory access, call-stack
+    overflow, or exceeding the configured step budget.
+    """

@@ -1,0 +1,67 @@
+"""Textual rendering of VIR programs (the inverse of :mod:`repro.ir.parser`).
+
+The format is line-oriented assembly::
+
+    func main:
+      entry:
+        li r0, 0
+        jmp loop
+      loop:
+        add r0, r0, r1
+        br gt, r1, r2, loop, done
+      done:
+        halt
+
+``format_program(parse_program(text))`` round-trips modulo whitespace.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .instructions import BINARY_OPS, Instruction, Opcode
+from .program import BasicBlock, Function, Program
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction as its assembly line (no indentation)."""
+    op = instr.opcode
+    mnemonic = op.value
+    if op is Opcode.LI:
+        return f"{mnemonic} {instr.regs[0]}, {instr.imm}"
+    if op in (Opcode.MOV, Opcode.NEG):
+        return f"{mnemonic} {instr.regs[0]}, {instr.regs[1]}"
+    if op in BINARY_OPS:
+        return f"{mnemonic} {instr.regs[0]}, {instr.regs[1]}, {instr.regs[2]}"
+    if op in (Opcode.LOAD, Opcode.STORE):
+        return f"{mnemonic} {instr.regs[0]}, {instr.regs[1]}, {instr.imm}"
+    if op is Opcode.CALL:
+        return f"{mnemonic} {instr.target}"
+    if op is Opcode.BR:
+        assert instr.cond is not None
+        return (f"{mnemonic} {instr.cond.value}, {instr.regs[0]}, "
+                f"{instr.regs[1]}, {instr.target}, {instr.fallthrough}")
+    if op is Opcode.JMP:
+        return f"{mnemonic} {instr.target}"
+    return mnemonic  # nop / ret / halt
+
+
+def format_block(block: BasicBlock, indent: str = "  ") -> str:
+    """Render one labelled block."""
+    lines: List[str] = [f"{indent}{block.label}:"]
+    for instr in block.instructions:
+        lines.append(f"{indent}  {format_instruction(instr)}")
+    return "\n".join(lines)
+
+
+def format_function(fn: Function) -> str:
+    """Render one function with all its blocks."""
+    lines = [f"func {fn.name}:"]
+    for block in fn:
+        lines.append(format_block(block))
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program; parseable by :func:`repro.ir.parser.parse_program`."""
+    return "\n\n".join(format_function(fn) for fn in program) + "\n"

@@ -1,0 +1,28 @@
+"""The optimisation phase's code transformations, for real VIR regions.
+
+* :mod:`repro.opt.constprop` — constant/copy propagation with folding.
+* :mod:`repro.opt.dce` — dead-code elimination.
+* :mod:`repro.opt.scheduler` — dependence DAGs and list scheduling.
+* :mod:`repro.opt.regionopt` — the per-region retranslation pipeline.
+"""
+
+from .constprop import propagate_constants
+from .dce import ALL_REGISTERS, eliminate_dead_code
+from .ir_utils import (has_side_effects, is_straightline, reads,
+                       touches_memory, writes)
+from .regionopt import (RegionOptimizationReport, extract_superblock,
+                        main_path_instances, mean_speedup,
+                        optimize_region, optimize_snapshot_regions)
+from .scheduler import (DEFAULT_LATENCIES, DEFAULT_WIDTH, DependenceDAG,
+                        MachineModel, Schedule, build_dag, list_schedule,
+                        sequential_cycles)
+
+__all__ = [
+    "ALL_REGISTERS", "DEFAULT_LATENCIES", "DEFAULT_WIDTH", "DependenceDAG",
+    "MachineModel", "RegionOptimizationReport", "Schedule", "build_dag",
+    "eliminate_dead_code", "extract_superblock", "has_side_effects",
+    "is_straightline", "list_schedule", "main_path_instances",
+    "mean_speedup", "optimize_region", "optimize_snapshot_regions",
+    "propagate_constants", "reads", "sequential_cycles", "touches_memory",
+    "writes",
+]

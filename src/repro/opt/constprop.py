@@ -1,0 +1,192 @@
+"""Constant and copy propagation with folding, over straight-line code.
+
+A single forward pass maintaining a register environment:
+
+* ``li rd, k`` records ``rd = const k``;
+* ``mov rd, rs`` records a copy (and rewrites later uses of ``rd`` to the
+  copy's root when still valid);
+* ALU instructions with all-constant operands fold into ``li``;
+* loads/stores keep their effects but get constant-folded address
+  registers propagated into their operands where legal (we only rewrite
+  *register names*, never the offset, so behaviour is preserved exactly);
+* a ``call`` invalidates everything (the callee may write any register).
+
+The pass is semantics-preserving for any straight-line sequence — the
+property test in ``tests/opt`` checks interpreter-level equivalence on
+randomised programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..ir import instructions as ins
+from ..ir.instructions import BINARY_OPS, Instruction, Opcode
+from .ir_utils import reads, writes
+
+#: Environment entries: a known constant or a copy of another register.
+_Const = Union[int, float]
+
+
+class _Env:
+    """Register knowledge: constants and copy chains."""
+
+    def __init__(self) -> None:
+        self.constants: Dict[str, _Const] = {}
+        self.copies: Dict[str, str] = {}
+
+    def invalidate(self, reg: str) -> None:
+        self.constants.pop(reg, None)
+        self.copies.pop(reg, None)
+        # any copy OF reg is now stale
+        for dst, src in list(self.copies.items()):
+            if src == reg:
+                del self.copies[dst]
+
+    def clear(self) -> None:
+        self.constants.clear()
+        self.copies.clear()
+
+    def root(self, reg: str) -> str:
+        """Follow copy chains to the oldest still-valid source."""
+        seen = set()
+        while reg in self.copies and reg not in seen:
+            seen.add(reg)
+            reg = self.copies[reg]
+        return reg
+
+    def constant(self, reg: str) -> Optional[_Const]:
+        return self.constants.get(self.root(reg))
+
+
+def _fold(opcode: Opcode, lhs: _Const, rhs: _Const) -> Optional[_Const]:
+    """Evaluate a binary ALU op on constants; None if it would fault."""
+    try:
+        if opcode is Opcode.ADD:
+            return lhs + rhs
+        if opcode is Opcode.SUB:
+            return lhs - rhs
+        if opcode is Opcode.MUL:
+            return lhs * rhs
+        if opcode is Opcode.DIV:
+            if rhs == 0:
+                return None
+            if isinstance(lhs, int) and isinstance(rhs, int):
+                return int(lhs / rhs)
+            return lhs / rhs
+        if opcode is Opcode.MOD:
+            if rhs == 0:
+                return None
+            return lhs - rhs * int(lhs / rhs)
+        if opcode is Opcode.AND:
+            return int(lhs) & int(rhs)
+        if opcode is Opcode.OR:
+            return int(lhs) | int(rhs)
+        if opcode is Opcode.XOR:
+            return int(lhs) ^ int(rhs)
+        if opcode is Opcode.SHL:
+            return int(lhs) << (int(rhs) & 63)
+        if opcode is Opcode.SHR:
+            return int(lhs) >> (int(rhs) & 63)
+        if opcode is Opcode.FADD:
+            return float(lhs) + float(rhs)
+        if opcode is Opcode.FSUB:
+            return float(lhs) - float(rhs)
+        if opcode is Opcode.FMUL:
+            return float(lhs) * float(rhs)
+        if opcode is Opcode.FDIV:
+            if float(rhs) == 0.0:
+                return None
+            return float(lhs) / float(rhs)
+    except (OverflowError, ValueError):  # pragma: no cover - defensive
+        return None
+    return None  # pragma: no cover - all BINARY_OPS handled
+
+
+def _rewritten_regs(instr: Instruction, env: _Env) -> Instruction:
+    """Rewrite read operands through copy chains (definitions untouched)."""
+    read_set = set(reads(instr))
+    if not read_set:
+        return instr
+    new_regs = []
+    written = set(writes(instr))
+    for i, reg in enumerate(instr.regs):
+        is_read_slot = reg in read_set and not (
+            reg in written and i == 0 and instr.opcode is not Opcode.STORE)
+        new_regs.append(env.root(reg) if is_read_slot else reg)
+    if tuple(new_regs) == instr.regs:
+        return instr
+    return Instruction(instr.opcode, regs=tuple(new_regs), imm=instr.imm,
+                       cond=instr.cond, target=instr.target,
+                       fallthrough=instr.fallthrough)
+
+
+def propagate_constants(code: List[Instruction]) -> List[Instruction]:
+    """Constant/copy propagation + folding over a straight-line sequence.
+
+    Returns a new instruction list computing the same final machine state
+    (registers and memory) from any initial state.
+    """
+    env = _Env()
+    out: List[Instruction] = []
+    for instr in code:
+        op = instr.opcode
+
+        if op is Opcode.CALL:
+            env.clear()
+            out.append(instr)
+            continue
+
+        instr = _rewritten_regs(instr, env)
+
+        if op is Opcode.LI:
+            rd = instr.regs[0]
+            env.invalidate(rd)
+            env.constants[rd] = instr.imm  # type: ignore[assignment]
+            out.append(instr)
+            continue
+
+        if op is Opcode.MOV:
+            rd, rs = instr.regs
+            value = env.constant(rs)
+            env.invalidate(rd)
+            if value is not None:
+                env.constants[rd] = value
+                out.append(ins.li(rd, value))
+            else:
+                if rs != rd:
+                    env.copies[rd] = env.root(rs)
+                out.append(instr)
+            continue
+
+        if op is Opcode.NEG:
+            rd, rs = instr.regs
+            value = env.constant(rs)
+            env.invalidate(rd)
+            if value is not None:
+                env.constants[rd] = -value
+                out.append(ins.li(rd, -value))
+            else:
+                out.append(instr)
+            continue
+
+        if op in BINARY_OPS:
+            rd, rs1, rs2 = instr.regs
+            lhs = env.constant(rs1)
+            rhs = env.constant(rs2)
+            env.invalidate(rd)
+            if lhs is not None and rhs is not None:
+                folded = _fold(op, lhs, rhs)
+                if folded is not None:
+                    env.constants[rd] = folded
+                    out.append(ins.li(rd, folded))
+                    continue
+            out.append(instr)
+            continue
+
+        # loads: the result is unknown; stores/branches: no defs.
+        for reg in writes(instr):
+            env.invalidate(reg)
+        out.append(instr)
+
+    return out

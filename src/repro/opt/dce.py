@@ -1,0 +1,77 @@
+"""Dead-code elimination over straight-line code.
+
+A backward pass: an instruction is dead when it has no side effects and
+none of its defined registers can be observed afterwards.  ``live_out``
+defaults to *all* registers — the only safe assumption for a region whose
+exits rejoin unoptimised code — in which case only definitions provably
+shadowed by later redefinitions die.  Callers with liveness information
+can pass an explicit live-out set.
+
+Calls are treated as reading and writing every register (the callee is
+unknown), so everything before a call is observable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from ..ir.instructions import Instruction, Opcode
+from .ir_utils import has_side_effects, reads, writes
+
+#: Sentinel meaning "every register may be read after the sequence".
+ALL_REGISTERS = None
+
+
+def eliminate_dead_code(code: List[Instruction],
+                        live_out: Optional[Iterable[str]] = ALL_REGISTERS
+                        ) -> List[Instruction]:
+    """Remove instructions whose results are never observed.
+
+    Args:
+        code: straight-line instruction sequence.
+        live_out: registers read after the sequence; ``None`` (the
+            default) means all registers are live-out.
+    """
+    # State is either "everything live except `shadowed`" (all_mode) or
+    # "exactly `live` is live" (explicit mode).  A call forces all_mode
+    # with an empty shadow set for everything before it.
+    all_mode = live_out is ALL_REGISTERS
+    shadowed: Set[str] = set()
+    live: Set[str] = set() if all_mode else set(live_out)  # type: ignore[arg-type]
+    keep = [False] * len(code)
+
+    for index in range(len(code) - 1, -1, -1):
+        instr = code[index]
+        defined = writes(instr)
+        read_set = set(reads(instr))
+
+        if instr.opcode is Opcode.CALL:
+            keep[index] = True
+            all_mode = True
+            shadowed = set()
+            continue
+
+        if has_side_effects(instr):
+            needed = True
+        elif instr.opcode is Opcode.NOP:
+            needed = False
+        elif not defined:
+            needed = False
+        elif all_mode:
+            needed = any(reg not in shadowed for reg in defined)
+        else:
+            needed = any(reg in live for reg in defined)
+
+        if not needed:
+            continue
+        keep[index] = True
+        if all_mode:
+            for reg in defined:
+                if reg not in read_set:
+                    shadowed.add(reg)
+            shadowed -= read_set
+        else:
+            live -= set(defined)
+            live |= read_set
+
+    return [instr for instr, kept in zip(code, keep) if kept]

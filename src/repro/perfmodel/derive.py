@@ -1,0 +1,108 @@
+"""Deriving cost-model parameters from real retranslation (`repro.opt`).
+
+The Figure 17 cost model assumes a flat ``opt_cost < interp_cost`` ratio.
+For instruction-level (VIR) workloads we can do better: actually
+retranslate the formed regions (constant propagation, DCE, scheduling)
+and read each block's optimised cost off the schedule.  This module
+bridges the two — producing a per-block optimised-cost array the
+execution estimator consumes instead of the flat constant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..cfg.graph import ControlFlowGraph
+from ..ir.program import Program
+from ..opt.regionopt import (RegionOptimizationReport, main_path_instances,
+                             optimize_region)
+from ..opt.scheduler import MachineModel
+from ..profiles.model import ProfileSnapshot
+from .costs import CostModel
+
+
+def measured_block_costs(program: Program, cfg: ControlFlowGraph,
+                         snapshot: ProfileSnapshot,
+                         machine: MachineModel = MachineModel(),
+                         base_costs: Optional[CostModel] = None
+                         ) -> np.ndarray:
+    """Per-block optimised cost (cycles per execution), measured.
+
+    For every block covered by a region's main path, the region's
+    measured cycles-per-instruction (scheduled cycles over optimised
+    instruction count, spread across the path) replaces the flat
+    ``opt_cost``; blocks optimised but off any main path, and blocks
+    never optimised, fall back to the flat model.  When a block is
+    duplicated into several regions, the cheapest translation wins (the
+    dispatcher prefers the best code).
+
+    Returns an array of length ``cfg.num_nodes``: modelled cycles per
+    execution of each block when running optimised.
+    """
+    base_costs = base_costs or CostModel()
+    table = program.block_table()
+    sizes = np.array([len(block) for _, block in table], dtype=float)
+    costs = sizes * base_costs.opt_cost  # flat fallback
+
+    for region in snapshot.regions:
+        report = optimize_region(program, region, machine)
+        path_blocks = [region.members[i]
+                       for i in main_path_instances(region)]
+        path_size = sum(sizes[b] for b in path_blocks)
+        if path_size <= 0 or report.scheduled_cycles <= 0:
+            continue
+        cycles_per_instr = report.scheduled_cycles / path_size
+        for block in path_blocks:
+            measured = sizes[block] * cycles_per_instr
+            costs[block] = min(costs[block], measured)
+    return costs
+
+
+def estimate_cost_measured(trace, tmap, program: Program,
+                           cfg: ControlFlowGraph,
+                           snapshot: ProfileSnapshot,
+                           machine: MachineModel = MachineModel(),
+                           costs: Optional[CostModel] = None):
+    """Figure 17's estimator with measured optimised-block costs.
+
+    Identical to :func:`repro.perfmodel.execution.estimate_cost` except
+    the optimised execution term uses per-block measured cycles instead
+    of ``opt_cost × size``.
+    """
+    from .execution import CostBreakdown
+
+    costs = costs or CostModel()
+    table = program.block_table()
+    sizes = np.array([len(block) for _, block in table], dtype=float)
+    measured = measured_block_costs(program, cfg, snapshot, machine, costs)
+
+    blocks = trace.blocks.astype(np.int64)
+    positions = np.arange(len(blocks), dtype=np.int64)
+    optimized = tmap.optimized_at[blocks] <= positions
+
+    unopt_cost = float(np.sum(np.where(
+        ~optimized, sizes[blocks] * costs.interp_cost +
+        costs.profile_overhead, 0.0)))
+    opt_cost = float(np.sum(np.where(optimized, measured[blocks], 0.0)))
+
+    num_side_exits = 0
+    if len(blocks) > 1 and tmap.internal_pairs:
+        src = blocks[:-1]
+        dst = blocks[1:]
+        codes = src * trace.num_blocks + dst
+        inside = np.isin(codes, tmap.internal_pair_codes())
+        tails = np.zeros(trace.num_blocks, dtype=bool)
+        for block in tmap.tail_blocks:
+            tails[block] = True
+        side = optimized[:-1] & ~inside & ~tails[src]
+        num_side_exits = int(np.sum(side))
+    side_cost = num_side_exits * costs.side_exit_penalty
+    translation = float(tmap.instructions_translated(sizes) *
+                        costs.translation_cost)
+    return CostBreakdown(
+        unoptimized=unopt_cost, optimized=opt_cost, side_exits=side_cost,
+        translation=translation, num_side_exits=num_side_exits,
+        optimized_fraction=float(np.mean(optimized)) if len(blocks)
+        else 0.0)

@@ -1,0 +1,111 @@
+"""Trace-replay performance estimation (paper §4.4, Figure 17).
+
+Given a recorded trace and the translation map of a finished DBT run, this
+module computes the modelled execution cost of the run and the relative
+performance across thresholds (base = threshold 1, exactly as the paper
+normalises Figure 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..dbt.codecache import TranslationMap
+from ..stochastic.trace import ExecutionTrace
+from .costs import DEFAULT_COSTS, CostModel
+
+
+@dataclass
+class CostBreakdown:
+    """Modelled cost of one run, by mechanism.
+
+    ``total`` is the sum of the four components; ``relative_performance``
+    against another run is ``other.total / self.total`` (higher = faster).
+    """
+
+    unoptimized: float
+    optimized: float
+    side_exits: float
+    translation: float
+    num_side_exits: int
+    optimized_fraction: float
+
+    @property
+    def total(self) -> float:
+        """Total modelled cost."""
+        return (self.unoptimized + self.optimized + self.side_exits +
+                self.translation)
+
+
+def estimate_cost(trace: ExecutionTrace, tmap: TranslationMap,
+                  block_sizes: Sequence[int],
+                  costs: CostModel = DEFAULT_COSTS) -> CostBreakdown:
+    """Replay ``trace`` against the translation map and price every step.
+
+    Args:
+        trace: the recorded run.
+        tmap: which blocks ran optimised from when, and which dynamic
+            edges stayed inside optimised regions.
+        block_sizes: static instruction count per block id (the walker has
+            no instruction stream, so sizes come from the workload's CFG
+            metadata or :meth:`Program.block_table`).
+        costs: the cost calibration.
+    """
+    sizes = np.asarray(block_sizes, dtype=float)
+    if len(sizes) != trace.num_blocks:
+        raise ValueError("block_sizes length does not match block count")
+
+    blocks = trace.blocks.astype(np.int64)
+    positions = np.arange(len(blocks), dtype=np.int64)
+    optimized = tmap.optimized_at[blocks] <= positions
+    step_sizes = sizes[blocks]
+
+    unopt_cost = float(np.sum(
+        np.where(~optimized,
+                 step_sizes * costs.interp_cost + costs.profile_overhead,
+                 0.0)))
+    opt_cost = float(np.sum(
+        np.where(optimized, step_sizes * costs.opt_cost, 0.0)))
+
+    # Side exits: an optimised block whose *dynamic* successor edge is not
+    # covered by any region's internal/back edges fell out of translated
+    # code unexpectedly.  Exits from region tails are the planned region
+    # exit and are free.
+    num_side_exits = 0
+    if len(blocks) > 1 and tmap.internal_pairs:
+        src = blocks[:-1]
+        dst = blocks[1:]
+        opt_src = optimized[:-1]
+        codes = src * trace.num_blocks + dst
+        internal_codes = tmap.internal_pair_codes()
+        inside = np.isin(codes, internal_codes)
+        tails = np.zeros(trace.num_blocks, dtype=bool)
+        for block in tmap.tail_blocks:
+            tails[block] = True
+        side = opt_src & ~inside & ~tails[src]
+        num_side_exits = int(np.sum(side))
+    side_cost = num_side_exits * costs.side_exit_penalty
+
+    translation = float(tmap.instructions_translated(sizes) *
+                        costs.translation_cost)
+
+    optimized_fraction = float(np.mean(optimized)) if len(blocks) else 0.0
+    return CostBreakdown(
+        unoptimized=unopt_cost, optimized=opt_cost, side_exits=side_cost,
+        translation=translation, num_side_exits=num_side_exits,
+        optimized_fraction=optimized_fraction)
+
+
+def relative_performance(costs_by_threshold: Dict[int, CostBreakdown],
+                         base_threshold: int = 1) -> Dict[int, float]:
+    """Figure 17 normalisation: performance relative to the base threshold.
+
+    ``perf(T) = cost(base) / cost(T)`` — higher is better, base = 1.0.
+    """
+    if base_threshold not in costs_by_threshold:
+        raise KeyError(f"base threshold {base_threshold} missing")
+    base = costs_by_threshold[base_threshold].total
+    return {t: base / c.total for t, c in costs_by_threshold.items()}

@@ -1,0 +1,56 @@
+"""Profiling-operation accounting (paper §4.5, Figure 18).
+
+The paper counts the total number of profiling operations — the sum of
+all "use" and "taken" counter values — for each initial profile and for
+the whole training run, then normalises to the training run.  Our counter
+tables maintain exactly that sum, so this module just assembles and
+normalises the series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.study import BenchmarkStudy
+
+
+@dataclass
+class OverheadSeries:
+    """Profiling-operation counts for one benchmark.
+
+    Attributes:
+        train_ops: total counter increments of the full training run (the
+            Figure 18 normalisation base).
+        inip_ops: per-threshold counter increments of the initial profile.
+    """
+
+    train_ops: int
+    inip_ops: Dict[int, int]
+
+    def normalized(self) -> Dict[int, float]:
+        """INIP(T) profiling operations as a fraction of the training run."""
+        if self.train_ops <= 0:
+            raise ValueError("training run performed no profiling "
+                             "operations")
+        return {t: ops / self.train_ops for t, ops in self.inip_ops.items()}
+
+
+def overhead_series(study: BenchmarkStudy) -> OverheadSeries:
+    """Extract Figure 18's quantities from a finished benchmark study."""
+    return OverheadSeries(
+        train_ops=study.train_ops,
+        inip_ops={t: study.outcomes[t].profiling_ops
+                  for t in study.thresholds})
+
+
+def average_normalized(series: List[OverheadSeries]) -> Dict[int, float]:
+    """Suite-average of the normalised overhead across benchmarks."""
+    if not series:
+        return {}
+    thresholds = sorted(set().union(*(s.inip_ops.keys() for s in series)))
+    out: Dict[int, float] = {}
+    for t in thresholds:
+        values = [s.normalized()[t] for s in series if t in s.inip_ops]
+        out[t] = sum(values) / len(values)
+    return out

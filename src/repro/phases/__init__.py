@@ -1,0 +1,17 @@
+"""Phase-awareness extensions (the paper's §5 future-work directions)."""
+
+from .continuous import (AdaptiveEstimate, AdaptiveOutcome,
+                         SelectiveReprofiler, compare_static_vs_adaptive)
+from .detector import (PhaseChange, PhaseDetector, WindowedRates,
+                       windowed_rates)
+from .tripcount import (ContinuousTripCounter, MonitorReport, TripSample,
+                        compare_tripcount_predictors, extract_trips,
+                        static_report)
+
+__all__ = [
+    "AdaptiveEstimate", "AdaptiveOutcome", "ContinuousTripCounter",
+    "MonitorReport", "PhaseChange", "PhaseDetector", "SelectiveReprofiler",
+    "TripSample", "WindowedRates", "compare_static_vs_adaptive",
+    "compare_tripcount_predictors", "extract_trips", "static_report",
+    "windowed_rates",
+]

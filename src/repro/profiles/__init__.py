@@ -1,0 +1,15 @@
+"""Profile snapshots (INIP/AVEP), their file format, and set operations."""
+
+from .io import (load_snapshot, save_snapshot, snapshot_from_dict,
+                 snapshot_to_dict)
+from .merge import (BlockDelta, avep_from_trace, diff_branch_probabilities,
+                    hottest_blocks)
+from .model import (BlockProfile, EdgeKind, ProfileSnapshot, Region,
+                    RegionKind)
+
+__all__ = [
+    "BlockDelta", "BlockProfile", "EdgeKind", "ProfileSnapshot", "Region",
+    "RegionKind", "avep_from_trace", "diff_branch_probabilities",
+    "hottest_blocks", "load_snapshot", "save_snapshot", "snapshot_from_dict",
+    "snapshot_to_dict",
+]

@@ -1,0 +1,210 @@
+"""Static branch-prediction heuristics (Ball–Larus / Wu–Larus style).
+
+The paper's reference [20] (Wu & Larus, MICRO-27) estimates branch
+probabilities *statically* — no profile at all — by combining simple
+structural heuristics with Dempster–Shafer evidence combination.  This
+module implements the subset of those heuristics expressible on our CFGs
+(plus opcode heuristics when the VIR program is available), providing the
+third point on the prediction spectrum the study spans:
+
+    static estimate  <  initial profile INIP(T)  <  training profile
+
+Each heuristic inspects one two-way branch and either abstains (None) or
+returns a taken-probability estimate; applicable estimates are fused with
+the Dempster–Shafer rule, exactly as in [20].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..cfg.graph import ControlFlowGraph
+from ..cfg.loops import LoopForest
+from ..ir.instructions import Cond, Opcode
+from ..ir.program import Program
+
+#: Heuristic taken-probabilities, from Ball–Larus' measurements as used
+#: by Wu–Larus (branch-taken probability assigned when the heuristic
+#: applies to the *taken* successor).
+LOOP_BRANCH_PROB = 0.88     # branch back to a loop header is taken
+LOOP_EXIT_STAY_PROB = 0.80  # edges staying inside the loop are preferred
+RETURN_NOT_TAKEN = 0.28     # a successor that immediately exits is avoided
+STORE_NOT_TAKEN = 0.45      # a successor doing a store is mildly avoided
+CALL_NOT_TAKEN = 0.22       # a successor that calls is avoided
+GUARD_EQ_NOT_TAKEN = 0.34   # equality guards rarely hold
+GUARD_NE_TAKEN = 0.66       # inequality guards usually hold
+
+#: A heuristic: (cfg, loops, program?, branch) -> taken probability or None.
+Heuristic = Callable[[ControlFlowGraph, LoopForest, Optional[Program], int],
+                     Optional[float]]
+
+
+def loop_branch_heuristic(cfg: ControlFlowGraph, loops: LoopForest,
+                          program: Optional[Program],
+                          branch: int) -> Optional[float]:
+    """A branch whose edge targets a loop header it belongs to is taken."""
+    taken = cfg.taken_target(branch)
+    fall = cfg.fallthrough_target(branch)
+    for loop in loops:
+        if branch in loop.body:
+            if taken == loop.header:
+                return LOOP_BRANCH_PROB
+            if fall == loop.header:
+                return 1.0 - LOOP_BRANCH_PROB
+    return None
+
+
+def loop_exit_heuristic(cfg: ControlFlowGraph, loops: LoopForest,
+                        program: Optional[Program],
+                        branch: int) -> Optional[float]:
+    """An edge leaving the innermost enclosing loop is not taken."""
+    loop = loops.innermost_containing(branch)
+    if loop is None:
+        return None
+    taken = cfg.taken_target(branch)
+    fall = cfg.fallthrough_target(branch)
+    taken_stays = taken in loop.body
+    fall_stays = fall in loop.body
+    if taken_stays and not fall_stays:
+        return LOOP_EXIT_STAY_PROB
+    if fall_stays and not taken_stays:
+        return 1.0 - LOOP_EXIT_STAY_PROB
+    return None
+
+
+def return_heuristic(cfg: ControlFlowGraph, loops: LoopForest,
+                     program: Optional[Program],
+                     branch: int) -> Optional[float]:
+    """A successor with no successors of its own (exit block) is avoided."""
+    taken = cfg.taken_target(branch)
+    fall = cfg.fallthrough_target(branch)
+    taken_exits = cfg.is_exit(taken)
+    fall_exits = cfg.is_exit(fall)
+    if taken_exits and not fall_exits:
+        return RETURN_NOT_TAKEN
+    if fall_exits and not taken_exits:
+        return 1.0 - RETURN_NOT_TAKEN
+    return None
+
+
+def _block_instructions(program: Program, block_id: int):
+    table = program.block_table()
+    return table[block_id][1].instructions
+
+
+def _block_has(program: Program, block_id: int, opcode: Opcode) -> bool:
+    return any(instr.opcode is opcode
+               for instr in _block_instructions(program, block_id))
+
+
+def store_heuristic(cfg: ControlFlowGraph, loops: LoopForest,
+                    program: Optional[Program],
+                    branch: int) -> Optional[float]:
+    """A successor performing a store is mildly avoided (IR needed)."""
+    if program is None:
+        return None
+    taken = cfg.taken_target(branch)
+    fall = cfg.fallthrough_target(branch)
+    taken_stores = _block_has(program, taken, Opcode.STORE)
+    fall_stores = _block_has(program, fall, Opcode.STORE)
+    if taken_stores and not fall_stores:
+        return STORE_NOT_TAKEN
+    if fall_stores and not taken_stores:
+        return 1.0 - STORE_NOT_TAKEN
+    return None
+
+
+def call_heuristic(cfg: ControlFlowGraph, loops: LoopForest,
+                   program: Optional[Program],
+                   branch: int) -> Optional[float]:
+    """A successor that makes a call is avoided (IR needed)."""
+    if program is None:
+        return None
+    taken = cfg.taken_target(branch)
+    fall = cfg.fallthrough_target(branch)
+    taken_calls = _block_has(program, taken, Opcode.CALL)
+    fall_calls = _block_has(program, fall, Opcode.CALL)
+    if taken_calls and not fall_calls:
+        return CALL_NOT_TAKEN
+    if fall_calls and not taken_calls:
+        return 1.0 - CALL_NOT_TAKEN
+    return None
+
+
+def guard_heuristic(cfg: ControlFlowGraph, loops: LoopForest,
+                    program: Optional[Program],
+                    branch: int) -> Optional[float]:
+    """Equality comparisons rarely hold; inequalities usually do."""
+    if program is None:
+        return None
+    terminator = _block_instructions(program, branch)[-1]
+    if terminator.opcode is not Opcode.BR or terminator.cond is None:
+        return None
+    if terminator.cond is Cond.EQ:
+        return GUARD_EQ_NOT_TAKEN
+    if terminator.cond is Cond.NE:
+        return GUARD_NE_TAKEN
+    return None
+
+
+#: The heuristics in application order (order is irrelevant to the
+#: Dempster–Shafer fusion, kept stable for reproducibility).
+ALL_HEURISTICS: List[Heuristic] = [
+    loop_branch_heuristic,
+    loop_exit_heuristic,
+    return_heuristic,
+    call_heuristic,
+    store_heuristic,
+    guard_heuristic,
+]
+
+
+def dempster_shafer(estimates: List[float]) -> float:
+    """Fuse independent taken-probability estimates ([20]'s combination).
+
+    ``combine(p1, p2) = p1·p2 / (p1·p2 + (1-p1)(1-p2))`` applied left to
+    right; the empty list fuses to the uninformative prior 0.5.
+    """
+    fused = 0.5
+    for p in estimates:
+        agree = fused * p
+        disagree = (1.0 - fused) * (1.0 - p)
+        denominator = agree + disagree
+        if denominator <= 0.0:  # exactly contradictory certainties
+            return 0.5
+        fused = agree / denominator
+    return fused
+
+
+@dataclass
+class BranchEstimate:
+    """Fused static estimate of one branch, with its evidence."""
+
+    branch: int
+    probability: float
+    applied: List[str]
+
+
+def estimate_branch(cfg: ControlFlowGraph, loops: LoopForest,
+                    program: Optional[Program],
+                    branch: int) -> BranchEstimate:
+    """Run every heuristic on ``branch`` and fuse the applicable ones."""
+    estimates: List[float] = []
+    applied: List[str] = []
+    for heuristic in ALL_HEURISTICS:
+        value = heuristic(cfg, loops, program, branch)
+        if value is not None:
+            estimates.append(value)
+            applied.append(heuristic.__name__)
+    return BranchEstimate(branch=branch,
+                          probability=dempster_shafer(estimates),
+                          applied=applied)
+
+
+def estimate_all_branches(cfg: ControlFlowGraph, loops: LoopForest,
+                          program: Optional[Program] = None
+                          ) -> Dict[int, BranchEstimate]:
+    """Static estimates for every two-way branch of the CFG."""
+    return {branch: estimate_branch(cfg, loops, program, branch)
+            for branch in cfg.branch_nodes()}

@@ -1,0 +1,21 @@
+"""Scalable block-level stochastic execution.
+
+* :mod:`repro.stochastic.behavior` — time-varying branch models (phases,
+  warm-up, drift) and the trip-count ⇄ loop-back-probability relation.
+* :mod:`repro.stochastic.trace` — numpy-backed execution traces.
+* :mod:`repro.stochastic.walker` — the CFG walker, plus adapters between
+  traces and the interpreter's listener protocol.
+"""
+
+from .behavior import (BranchBehavior, Phase, ProgramBehavior, drifting,
+                       loopback_for_trip_count, phased, steady,
+                       trip_count_for_loopback, warmup)
+from .trace import NO_BRANCH, BlockEvents, ExecutionTrace, TraceError
+from .walker import CFGWalker, TraceRecorder, replay_trace, walk
+
+__all__ = [
+    "NO_BRANCH", "BlockEvents", "BranchBehavior", "CFGWalker",
+    "ExecutionTrace", "Phase", "ProgramBehavior", "TraceError",
+    "TraceRecorder", "drifting", "loopback_for_trip_count", "phased",
+    "replay_trace", "steady", "trip_count_for_loopback", "walk", "warmup",
+]

@@ -1,0 +1,284 @@
+"""Benchmark characters: turning paper findings into branch behaviours.
+
+Each synthetic benchmark couples the generated skeleton
+(:mod:`repro.workloads.generators`) with a *character* describing how its
+branches behave over time and how the training input differs from the
+reference input.  The vocabulary maps one-to-one onto the effects the
+paper reports:
+
+* **steady** branches/loops — the easy, predictable FP-style behaviour;
+* **warm-up** — the first executions of a branch behave unlike its steady
+  state (Gzip's early mismatch, Wupwise's long warm-up);
+* **global phases** — program-wide behaviour shifts at given points of the
+  run (Mcf's phase changes);
+* **train divergence** — the training input's probabilities differ from
+  the reference input's (Perlbmk/Lucas/Apsi, where the training profile
+  predicts poorly).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..stochastic.behavior import (BranchBehavior, Phase, ProgramBehavior,
+                                   loopback_for_trip_count, phased, steady)
+from .generators import DRIVER_ROLE, Workload
+
+#: Specs accept a plain probability or a full behaviour.
+BehaviorLike = Union[float, BranchBehavior]
+
+
+def as_behavior(value: BehaviorLike) -> BranchBehavior:
+    """Coerce a probability into a steady behaviour."""
+    if isinstance(value, BranchBehavior):
+        return value
+    return steady(float(value))
+
+
+def trips(trip_count: float) -> float:
+    """Latch taken probability for a mean trip count (``LP=(t-1)/t``)."""
+    return loopback_for_trip_count(trip_count)
+
+
+def jitter(p: float, amount: float, rng: random.Random,
+           floor: float = 0.02, ceil: float = 0.98) -> float:
+    """Probability ``p`` shifted by ``N(0, amount)``, clipped away from the
+    degenerate endpoints so branches stay stochastic."""
+    return min(max(p + rng.gauss(0.0, amount), floor), ceil)
+
+
+def jitter_trips(trip_count: float, rel_sd: float,
+                 rng: random.Random) -> float:
+    """Trip count scaled by a log-normal factor with relative sd."""
+    factor = math.exp(rng.gauss(0.0, rel_sd))
+    return max(1.05, trip_count * factor)
+
+
+@dataclass(frozen=True)
+class BranchSpec:
+    """Explicit behaviour of one role under both inputs.
+
+    ``train=None`` derives the training behaviour from ``ref`` by applying
+    the character's default train jitter to its steady probability.
+    """
+
+    ref: BehaviorLike
+    train: Optional[BehaviorLike] = None
+
+
+@dataclass
+class CharacterConfig:
+    """Distributional character of a benchmark (applied to roles without
+    an explicit :class:`BranchSpec`).
+
+    Attributes:
+        seed: RNG seed for the character's random draws.
+        diamond_p_choices: steady taken-probability choices for diamond
+            splits (drawn uniformly).
+        trip_choices: mean trip-count choices for loop latches.
+        train_jitter_bp: sd of the train-input shift on diamond
+            probabilities.
+        train_jitter_trips: relative sd of the train-input trip-count
+            factor.
+        warmup_fraction: fraction of diamonds given a warm-up phase.
+        warmup_uses: length of the warm-up (in branch executions).
+        warmup_strength: how far warm-up probability strays from steady.
+        loop_warmup_fraction / loop_warmup_uses / loop_warmup_trips:
+            warm-up applied to loop latches — the loop runs with
+            ``loop_warmup_trips`` mean trips during its first
+            ``loop_warmup_uses`` latch executions (the paper's Mcf trip
+            count inversion).
+        phase_fraction: fraction of diamonds with global phase changes.
+        phase_boundaries: run fractions where phased branches shift.
+        phase_strength: sd of each phase's probability shift.
+        loop_phase_fraction / loop_phase_trips: phase changes applied to
+            latches — trip counts switch to a different regime at each
+            boundary.
+    """
+
+    seed: int = 0
+    diamond_p_choices: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9)
+    trip_choices: Sequence[float] = (4.0, 12.0, 30.0, 80.0)
+    train_jitter_bp: float = 0.04
+    train_jitter_trips: float = 0.15
+    warmup_fraction: float = 0.0
+    warmup_uses: int = 200
+    warmup_strength: float = 0.3
+    loop_warmup_fraction: float = 0.0
+    loop_warmup_uses: int = 100
+    loop_warmup_trips: Optional[float] = None
+    phase_fraction: float = 0.0
+    phase_boundaries: Sequence[float] = ()
+    phase_strength: float = 0.3
+    loop_phase_fraction: float = 0.0
+    loop_phase_trips: Sequence[float] = ()
+
+
+@dataclass
+class Character:
+    """A complete character: explicit specs + distributional defaults."""
+
+    config: CharacterConfig = field(default_factory=CharacterConfig)
+    specs: Dict[str, BranchSpec] = field(default_factory=dict)
+
+
+def _phased_behavior(p_steady: float, boundaries: Sequence[float],
+                     strength: float, total_steps: int,
+                     rng: random.Random) -> BranchBehavior:
+    """A schedule shifting at each boundary; later phases re-jitter."""
+    fractions: List[float] = []
+    prev = 0.0
+    for b in boundaries:
+        fractions.append(b - prev)
+        prev = b
+    fractions.append(1.0 - prev)
+    schedule = [(frac, jitter(p_steady, strength, rng))
+                for frac in fractions]
+    return phased(schedule, total_steps)
+
+
+def _latch_phase_behavior(trip_values: Sequence[float],
+                          boundaries: Sequence[float],
+                          total_steps: int) -> BranchBehavior:
+    """A latch whose trip-count regime changes at each boundary."""
+    if len(trip_values) != len(boundaries) + 1:
+        raise ValueError("need one trip value per phase")
+    fractions: List[float] = []
+    prev = 0.0
+    for b in boundaries:
+        fractions.append(b - prev)
+        prev = b
+    fractions.append(1.0 - prev)
+    schedule = [(frac, trips(t)) for frac, t in zip(fractions, trip_values)]
+    return phased(schedule, total_steps)
+
+
+def realize_character(workload: Workload, character: Character,
+                      total_steps: int
+                      ) -> Tuple[ProgramBehavior, ProgramBehavior]:
+    """Materialise (ref, train) behaviours for every branch of a skeleton.
+
+    The driver latch always loops with probability 1 under both inputs.
+    Explicit specs win over the distributional defaults; defaults are
+    drawn deterministically from the character's seed.
+    """
+    config = character.config
+    rng = random.Random(config.seed)
+    ref = ProgramBehavior()
+    train = ProgramBehavior()
+    latch_nodes = {info.latch for info in workload.loops.values()}
+
+    unknown = set(character.specs) - set(workload.branch_roles)
+    if unknown:
+        raise ValueError(f"specs reference unknown roles: {sorted(unknown)}"
+                         f"; available: {sorted(workload.branch_roles)}")
+
+    for role, node in sorted(workload.branch_roles.items()):
+        if role == DRIVER_ROLE:
+            ref.set(node, steady(1.0))
+            train.set(node, steady(1.0))
+            continue
+
+        spec = character.specs.get(role)
+        if spec is not None:
+            ref_behavior = as_behavior(spec.ref)
+            if spec.train is not None:
+                train_behavior = as_behavior(spec.train)
+            else:
+                steady_p = ref_behavior.steady_p
+                train_behavior = steady(clamp_to_range(
+                    jitter(steady_p, config.train_jitter_bp, rng),
+                    steady_p))
+            ref.set(node, ref_behavior)
+            train.set(node, train_behavior)
+            continue
+
+        if node in latch_nodes:
+            ref_behavior, train_behavior = _default_latch(config, rng,
+                                                          total_steps)
+        else:
+            ref_behavior, train_behavior = _default_diamond(config, rng,
+                                                            total_steps)
+        ref.set(node, ref_behavior)
+        train.set(node, train_behavior)
+
+    return ref, train
+
+
+#: Per-range clamping bounds used to keep default train jitter inside the
+#: reference probability's range ([0,.3) / [.3,.7] / (.7,1]).
+_RANGE_BOUNDS = ((0.02, 0.295), (0.305, 0.695), (0.705, 0.98))
+
+
+def _range_of(p: float) -> int:
+    if p < 0.3:
+        return 0
+    if p <= 0.7:
+        return 1
+    return 2
+
+
+def clamp_to_range(p: float, reference: float) -> float:
+    """Clamp ``p`` into the same §4.1 range as ``reference``.
+
+    Default (unspecified) train divergence must not flip a branch across
+    a range boundary — the paper finds the training input matches the
+    average "reasonably well" for most benchmarks, with range-crossing
+    divergence a *per-benchmark* phenomenon (Perlbmk, Lucas, Apsi) that
+    the suites model with explicit specs.
+    """
+    lo, hi = _RANGE_BOUNDS[_range_of(reference)]
+    return min(max(p, lo), hi)
+
+
+def _default_diamond(config: CharacterConfig, rng: random.Random,
+                     total_steps: int
+                     ) -> Tuple[BranchBehavior, BranchBehavior]:
+    p = rng.choice(list(config.diamond_p_choices))
+    p = jitter(p, 0.03, rng)
+    train_behavior = steady(clamp_to_range(
+        jitter(p, config.train_jitter_bp, rng), p))
+
+    if config.phase_boundaries and rng.random() < config.phase_fraction:
+        ref_behavior = _phased_behavior(p, config.phase_boundaries,
+                                        config.phase_strength, total_steps,
+                                        rng)
+    elif rng.random() < config.warmup_fraction:
+        warm_p = jitter(p, config.warmup_strength, rng)
+        ref_behavior = BranchBehavior(
+            phases=(Phase(math.inf, p),),
+            warmup_uses=config.warmup_uses, warmup_p=warm_p)
+    else:
+        ref_behavior = steady(p)
+    return ref_behavior, train_behavior
+
+
+def _default_latch(config: CharacterConfig, rng: random.Random,
+                   total_steps: int
+                   ) -> Tuple[BranchBehavior, BranchBehavior]:
+    t = rng.choice(list(config.trip_choices))
+    t = jitter_trips(t, 0.1, rng)
+    train_behavior = steady(trips(jitter_trips(t, config.train_jitter_trips,
+                                               rng)))
+
+    if config.loop_phase_trips and \
+            rng.random() < config.loop_phase_fraction:
+        n_phases = len(config.phase_boundaries) + 1
+        values = [t] + [jitter_trips(v, 0.1, rng)
+                        for v in config.loop_phase_trips]
+        values = (values * n_phases)[:n_phases]
+        ref_behavior = _latch_phase_behavior(values,
+                                             config.phase_boundaries,
+                                             total_steps)
+    elif rng.random() < config.loop_warmup_fraction and \
+            config.loop_warmup_trips is not None:
+        ref_behavior = BranchBehavior(
+            phases=(Phase(math.inf, trips(t)),),
+            warmup_uses=config.loop_warmup_uses,
+            warmup_p=trips(config.loop_warmup_trips))
+    else:
+        ref_behavior = steady(trips(t))
+    return ref_behavior, train_behavior

@@ -1,0 +1,121 @@
+"""Markov frequency-propagation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import (ControlFlowGraph, edge_probabilities,
+                       propagate_frequencies, solve_flow)
+
+
+def test_chain_propagates_unit_flow():
+    cfg = ControlFlowGraph([(1,), (2,), ()])
+    freq = propagate_frequencies(cfg, {})
+    assert np.allclose(freq, [1.0, 1.0, 1.0])
+
+
+def test_diamond_split(diamond_cfg):
+    freq = propagate_frequencies(diamond_cfg, {1: 0.25})
+    assert np.allclose(freq, [1.0, 1.0, 0.25, 0.75, 1.0])
+
+
+def test_loop_frequency_is_geometric():
+    # 0 -> 1; 1 loops to itself with p, exits with 1-p.
+    cfg = ControlFlowGraph([(1,), (1, 2), ()])
+    freq = propagate_frequencies(cfg, {1: 0.9})
+    assert freq[1] == pytest.approx(10.0)
+    assert freq[2] == pytest.approx(1.0)
+
+
+def test_nested_loop_frequencies(nested_cfg):
+    freq = propagate_frequencies(nested_cfg, {2: 0.95, 4: 0.5, 7: 0.01})
+    # Outer loop runs 1/0.01 = 100 times; inner 20 trips per entry.
+    assert freq[1] == pytest.approx(100.0)
+    assert freq[2] == pytest.approx(100.0 * 20)
+    assert freq[8] == pytest.approx(1.0)
+
+
+def test_entry_frequency_scales_linearly(nested_cfg):
+    base = propagate_frequencies(nested_cfg, {2: 0.9, 4: 0.5, 7: 0.02})
+    scaled = propagate_frequencies(nested_cfg, {2: 0.9, 4: 0.5, 7: 0.02},
+                                   entry_frequency=7.0)
+    assert np.allclose(scaled, base * 7.0)
+
+
+def test_edge_probabilities_reject_bad_value(diamond_cfg):
+    with pytest.raises(ValueError):
+        edge_probabilities(diamond_cfg, {1: 1.5})
+
+
+def test_edge_probabilities_accumulate_parallel_edges():
+    cfg = ControlFlowGraph([(1, 1), ()])
+    probs = edge_probabilities(cfg, {0: 0.3})
+    assert probs[(0, 1)] == pytest.approx(1.0)
+
+
+def test_solve_flow_with_known_anchor():
+    # 0 -> 1 -> 2, but node 1 pinned to 5: node 2 inherits 5.
+    edge_prob = {(0, 1): 1.0, (1, 2): 1.0}
+    freq = solve_flow(3, edge_prob, inflow={0: 1.0}, known={1: 5.0})
+    assert freq[0] == pytest.approx(1.0)
+    assert freq[1] == pytest.approx(5.0)
+    assert freq[2] == pytest.approx(5.0)
+
+
+def test_solve_flow_all_known_is_identity():
+    freq = solve_flow(2, {(0, 1): 1.0}, inflow={}, known={0: 3.0, 1: 4.0})
+    assert list(freq) == [3.0, 4.0]
+
+
+def test_probability_one_cycle_is_singular():
+    cfg = ControlFlowGraph([(1,), (1, 2), ()])
+    with pytest.raises(np.linalg.LinAlgError):
+        propagate_frequencies(cfg, {1: 1.0})
+
+
+@settings(max_examples=50, deadline=None)
+@given(p_inner=st.floats(0.0, 0.95), p_diamond=st.floats(0.0, 1.0),
+       p_exit=st.floats(0.05, 1.0))
+def test_flow_conservation_property(p_inner, p_diamond, p_exit):
+    """Inflow of every node equals its frequency (flow conservation)."""
+    from hypothesis import assume
+    nested_cfg = ControlFlowGraph([
+        (1,), (2,), (3, 4), (2,), (5, 6), (7,), (7,), (8, 1), ()])
+    taken = {2: p_inner, 4: p_diamond, 7: 1.0 - p_exit}
+    try:
+        freq = propagate_frequencies(nested_cfg, taken)
+    except np.linalg.LinAlgError:
+        # ill-conditioned corner (loop gain numerically ~1): skip
+        assume(False)
+    probs = edge_probabilities(nested_cfg, taken)
+    for v in range(nested_cfg.num_nodes):
+        inflow = sum(freq[src] * p for (src, dst), p in probs.items()
+                     if dst == v)
+        if v == nested_cfg.entry:
+            inflow += 1.0
+        assert inflow == pytest.approx(freq[v], rel=1e-9, abs=1e-9)
+
+
+def test_sparse_solver_path_matches_dense():
+    """Chains long enough to cross the sparse-solver threshold give the
+    same answer as the dense path."""
+    n = 600  # > _SPARSE_THRESHOLD
+    succs = [(i + 1,) for i in range(n - 1)] + [()]
+    cfg = ControlFlowGraph(succs)
+    freq = propagate_frequencies(cfg, {})
+    assert np.allclose(freq, 1.0)
+
+
+def test_sparse_solver_with_loops():
+    # alternating loop blocks: header_i -> (header_i | next)
+    n = 501
+    succs = []
+    for i in range(n - 1):
+        succs.append((i, i + 1))  # self-loop, then fall to next
+    succs.append(())
+    cfg = ControlFlowGraph(succs)
+    taken = {i: 0.5 for i in range(n - 1)}  # each block runs twice
+    freq = propagate_frequencies(cfg, taken)
+    assert np.allclose(freq[:-1], 2.0)
+    assert freq[-1] == pytest.approx(1.0)

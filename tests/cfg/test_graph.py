@@ -1,0 +1,90 @@
+"""Unit tests for CFG construction and queries."""
+
+import pytest
+
+from repro.cfg import CFGError, ControlFlowGraph, cfg_from_function, \
+    cfg_from_program
+from repro.ir import Cond, ProgramBuilder
+
+
+class TestControlFlowGraph:
+    def test_basic_queries(self, nested_cfg):
+        assert nested_cfg.num_nodes == 9
+        assert nested_cfg.is_branch(2)
+        assert not nested_cfg.is_branch(0)
+        assert nested_cfg.is_exit(8)
+        assert nested_cfg.taken_target(2) == 3
+        assert nested_cfg.fallthrough_target(2) == 4
+        assert nested_cfg.taken_target(0) is None
+
+    def test_edges_and_predecessors(self, diamond_cfg):
+        edges = list(diamond_cfg.edges())
+        assert (1, 2) in edges and (1, 3) in edges
+        preds = diamond_cfg.predecessors()
+        assert sorted(preds[4]) == [2, 3]
+        assert preds[0] == []
+
+    def test_branch_and_exit_nodes(self, nested_cfg):
+        assert set(nested_cfg.branch_nodes()) == {2, 4, 7}
+        assert nested_cfg.exit_nodes() == [8]
+
+    def test_default_labels(self):
+        cfg = ControlFlowGraph([(1,), ()])
+        assert cfg.label(0) == "b0"
+        assert cfg.label(1) == "b1"
+
+    def test_rejects_bad_entry(self):
+        with pytest.raises(CFGError):
+            ControlFlowGraph([(0,)], entry=5)
+
+    def test_rejects_dangling_edge(self):
+        with pytest.raises(CFGError):
+            ControlFlowGraph([(3,)])
+
+    def test_rejects_three_successors(self):
+        with pytest.raises(CFGError):
+            ControlFlowGraph([(0, 0, 0)])
+
+    def test_rejects_label_length_mismatch(self):
+        with pytest.raises(CFGError):
+            ControlFlowGraph([(1,), ()], labels=["only-one"])
+
+    def test_parallel_edges_allowed(self):
+        # A branch whose both targets coincide (degenerate diamond).
+        cfg = ControlFlowGraph([(1, 1), ()])
+        assert cfg.is_branch(0)
+        assert len(list(cfg.edges())) == 2
+
+
+class TestFromIR:
+    def _program(self):
+        pb = ProgramBuilder()
+        with pb.function("main") as fb:
+            fb.block("entry").jmp("loop")
+            (fb.block("loop").nop()
+               .br(Cond.GT, "a", "b", taken="loop", fall="out"))
+            fb.block("out").call("helper").halt()
+        with pb.function("helper") as fb:
+            fb.block("entry").ret()
+        return pb.build()
+
+    def test_cfg_from_function(self):
+        program = self._program()
+        cfg, ids = cfg_from_function(program.functions["main"])
+        assert cfg.num_nodes == 3
+        assert cfg.entry == ids["entry"]
+        assert cfg.successors(ids["loop"]) == (ids["loop"], ids["out"])
+
+    def test_cfg_from_program_is_disjoint_union(self):
+        program = self._program()
+        cfg, ids = cfg_from_program(program)
+        assert cfg.num_nodes == 4
+        # call edges are not CFG edges
+        out_id = [i for ref, i in ids.items() if ref.label == "out"][0]
+        assert cfg.successors(out_id) == ()
+        assert cfg.label(out_id) == "main:out"
+
+    def test_block_ids_match_program_ids(self):
+        program = self._program()
+        _, ids = cfg_from_program(program)
+        assert ids == program.block_ids()

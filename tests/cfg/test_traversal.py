@@ -1,0 +1,69 @@
+"""Unit tests for graph traversals."""
+
+import pytest
+
+from repro.cfg import (CFGError, ControlFlowGraph, post_order, reachable,
+                       reverse_post_order, topological_order)
+
+
+def test_reachable_ignores_disconnected(nested_cfg):
+    assert reachable(nested_cfg) == set(range(9))
+    cfg = ControlFlowGraph([(1,), (), ()])  # node 2 unreachable
+    assert reachable(cfg) == {0, 1}
+
+
+def test_reachable_from_custom_root(nested_cfg):
+    assert 0 not in reachable(nested_cfg, root=4)
+
+
+def test_post_order_ends_at_entry(nested_cfg):
+    order = post_order(nested_cfg)
+    assert order[-1] == nested_cfg.entry
+    assert set(order) == reachable(nested_cfg)
+
+
+def test_reverse_post_order_starts_at_entry(nested_cfg):
+    order = reverse_post_order(nested_cfg)
+    assert order[0] == nested_cfg.entry
+    # RPO visits a node before its non-back-edge successors.
+    position = {v: i for i, v in enumerate(order)}
+    assert position[0] < position[1] < position[2]
+    assert position[4] < position[5]
+    assert position[4] < position[7]
+
+
+def test_orders_visit_each_node_once(nested_cfg):
+    order = post_order(nested_cfg)
+    assert len(order) == len(set(order))
+
+
+def test_topological_order_linear():
+    succs = [[1], [2], []]
+    assert topological_order(succs, roots=[0]) == [0, 1, 2]
+
+
+def test_topological_order_diamond():
+    succs = [[1, 2], [3], [3], []]
+    order = topological_order(succs, roots=[0])
+    position = {v: i for i, v in enumerate(order)}
+    assert position[0] < position[1] < position[3]
+    assert position[0] < position[2] < position[3]
+
+
+def test_topological_order_ignores_unreached():
+    succs = [[1], [], [1]]  # node 2 not reachable from root 0
+    order = topological_order(succs, roots=[0])
+    assert order == [0, 1]
+
+
+def test_topological_order_detects_cycle():
+    succs = [[1], [0]]
+    with pytest.raises(CFGError, match="cycle"):
+        topological_order(succs, roots=[0])
+
+
+def test_topological_multiple_roots():
+    succs = [[2], [2], []]
+    order = topological_order(succs, roots=[0, 1])
+    assert order[-1] == 2
+    assert set(order) == {0, 1, 2}

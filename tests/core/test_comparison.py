@@ -1,0 +1,93 @@
+"""Profile-comparison pipeline tests."""
+
+import pytest
+
+from repro.core import compare_flat_profiles, compare_inip_to_avep
+from repro.dbt import DBTConfig, ReplayDBT
+from repro.profiles import avep_from_trace
+from repro.stochastic import ProgramBehavior, phased, steady, walk
+
+
+def test_flat_identical_profiles_are_perfect(nested_cfg, nested_trace):
+    avep = avep_from_trace(nested_trace)
+    result = compare_flat_profiles(nested_cfg, avep, avep)
+    assert result.sd_bp == 0.0
+    assert result.bp_mismatch == 0.0
+    assert result.num_bp_units > 0
+    assert result.sd_cp is None and result.sd_lp is None
+
+
+def test_flat_diverging_profiles(nested_cfg, nested_behavior):
+    ref = walk(nested_cfg, nested_behavior, 30_000, seed=1)
+    other_behavior = ProgramBehavior()
+    other_behavior.set(2, steady(0.5))   # ref: 0.96 — very different
+    other_behavior.set(4, steady(0.8))
+    other_behavior.set(7, steady(0.001))
+    train = walk(nested_cfg, other_behavior, 30_000, seed=2)
+    result = compare_flat_profiles(
+        nested_cfg, avep_from_trace(train, input_name="train"),
+        avep_from_trace(ref))
+    assert result.sd_bp > 0.2          # dominated by the hot inner loop
+    assert result.bp_mismatch > 0.5    # 0.96 (taken) vs 0.5 (neutral)
+
+
+def test_inip_vs_avep_on_same_trace_is_accurate(nested_cfg,
+                                                nested_behavior):
+    """Stationary behaviour: the initial profile is a good predictor."""
+    trace = walk(nested_cfg, nested_behavior, 60_000, seed=3)
+    avep = avep_from_trace(trace)
+    inip = ReplayDBT(trace, nested_cfg,
+                     DBTConfig(threshold=500,
+                               pool_trigger_size=3)).snapshot()
+    result = compare_inip_to_avep(nested_cfg, inip, avep)
+    assert result.sd_bp is not None and result.sd_bp < 0.05
+    assert result.bp_mismatch == 0.0
+    assert result.num_loop_regions >= 1
+
+
+def test_phase_change_degrades_initial_profile(nested_cfg):
+    """A late phase shift the frozen profile never saw inflates Sd.BP."""
+    behavior = ProgramBehavior()
+    behavior.set(2, steady(0.96))
+    behavior.set(4, phased([(0.2, 0.9), (0.8, 0.15)], total_steps=60_000))
+    behavior.set(7, steady(0.0001))
+    trace = walk(nested_cfg, behavior, 60_000, seed=4)
+    avep = avep_from_trace(trace)
+    inip = ReplayDBT(trace, nested_cfg,
+                     DBTConfig(threshold=20,
+                               pool_trigger_size=3)).snapshot()
+    result = compare_inip_to_avep(nested_cfg, inip, avep)
+    # AVEP of branch 4 ~ 0.3; INIP frozen early ~ 0.9.
+    assert result.sd_bp > 0.05
+    assert result.bp_mismatch > 0.0
+
+
+def test_unoptimized_blocks_match_exactly(nested_cfg, nested_trace):
+    """Blocks never optimised keep whole-run counts == AVEP: they add
+    weight but no deviation."""
+    avep = avep_from_trace(nested_trace)
+    inip = ReplayDBT(nested_trace, nested_cfg,
+                     DBTConfig(threshold=10**9)).snapshot()
+    result = compare_inip_to_avep(nested_cfg, inip, avep)
+    assert result.sd_bp == pytest.approx(0.0)
+    assert result.num_linear_regions == 0
+    assert result.num_loop_regions == 0
+    assert result.sd_cp is None
+    assert result.lp_mismatch is None
+
+
+def test_region_metrics_populated(nested_cfg, nested_trace):
+    avep = avep_from_trace(nested_trace)
+    inip = ReplayDBT(nested_trace, nested_cfg,
+                     DBTConfig(threshold=30,
+                               pool_trigger_size=3)).snapshot()
+    result = compare_inip_to_avep(nested_cfg, inip, avep)
+    assert result.num_loop_regions == len(inip.loop_regions())
+    assert result.num_linear_regions == len(inip.linear_regions())
+    if result.num_loop_regions:
+        assert result.sd_lp is not None
+        assert 0.0 <= result.sd_lp <= 1.0
+    if result.num_linear_regions:
+        assert result.sd_cp is not None
+        assert 0.0 <= result.sd_cp <= 1.0
+    assert result.bp_weight_covered > 0

@@ -1,0 +1,85 @@
+"""Completion-probability tests (paper §3.2, Figure 6)."""
+
+import pytest
+
+from repro.core import completion_probability
+from repro.profiles import EdgeKind, Region, RegionKind
+
+
+def _bp(values):
+    return lambda block: values.get(block)
+
+
+def figure6_region():
+    """The paper's Figure 6 region: b5 splits 0.4/0.6 to b6/b7, both
+    re-merge at b8; b6 exits with 0.2, b7 with 0.1."""
+    return Region(
+        region_id=0, kind=RegionKind.LINEAR, members=[5, 6, 7, 8],
+        internal_edges=[
+            (0, 1, EdgeKind.TAKEN),    # b5 -> b6 (0.4)
+            (0, 2, EdgeKind.FALL),     # b5 -> b7 (0.6)
+            (1, 3, EdgeKind.TAKEN),    # b6 -> b8 (0.8)
+            (2, 3, EdgeKind.TAKEN),    # b7 -> b8 (0.9)
+        ],
+        exit_edges=[
+            (1, EdgeKind.FALL, 99),    # b6 side exit (0.2)
+            (2, EdgeKind.FALL, 99),    # b7 side exit (0.1)
+        ],
+        tail=3)
+
+
+def test_paper_figure6_value():
+    region = figure6_region()
+    bp = _bp({5: 0.4, 6: 0.8, 7: 0.9})
+    # 0.4*0.8 + 0.6*0.9 = 0.86
+    assert completion_probability(region, bp) == pytest.approx(0.86)
+
+
+def test_no_side_exits_means_cp_one():
+    region = Region(
+        region_id=0, kind=RegionKind.LINEAR, members=[0, 1],
+        internal_edges=[(0, 1, EdgeKind.ALWAYS)], tail=1)
+    assert completion_probability(region, _bp({})) == 1.0
+
+
+def test_all_mass_exits():
+    region = Region(
+        region_id=0, kind=RegionKind.LINEAR, members=[0, 1],
+        internal_edges=[(0, 1, EdgeKind.TAKEN)],
+        exit_edges=[(0, EdgeKind.FALL, 9)], tail=1)
+    assert completion_probability(region, _bp({0: 0.0})) == 0.0
+    assert completion_probability(region, _bp({0: 1.0})) == 1.0
+    assert completion_probability(region, _bp({0: 0.35})) == \
+        pytest.approx(0.35)
+
+
+def test_single_block_region_completes_trivially():
+    region = Region(region_id=0, kind=RegionKind.LINEAR, members=[4],
+                    tail=0)
+    assert completion_probability(region, _bp({})) == 1.0
+
+
+def test_unprofiled_branches_use_half():
+    region = Region(
+        region_id=0, kind=RegionKind.LINEAR, members=[0, 1],
+        internal_edges=[(0, 1, EdgeKind.TAKEN)],
+        exit_edges=[(0, EdgeKind.FALL, 9)], tail=1)
+    assert completion_probability(region, _bp({})) == pytest.approx(0.5)
+
+
+def test_rejects_loop_region():
+    region = Region(region_id=0, kind=RegionKind.LOOP, members=[0],
+                    back_edges=[(0, EdgeKind.TAKEN)], tail=0)
+    with pytest.raises(ValueError):
+        completion_probability(region, _bp({}))
+
+
+def test_chained_probability_multiplies():
+    # entry -> a -> b -> tail with 0.9 staying probability each.
+    region = Region(
+        region_id=0, kind=RegionKind.LINEAR, members=[0, 1, 2],
+        internal_edges=[(0, 1, EdgeKind.TAKEN), (1, 2, EdgeKind.TAKEN)],
+        exit_edges=[(0, EdgeKind.FALL, 9), (1, EdgeKind.FALL, 9)],
+        tail=2)
+    bp = _bp({0: 0.9, 1: 0.9})
+    assert completion_probability(region, bp) == pytest.approx(0.81)

@@ -1,0 +1,87 @@
+"""Range-based matching tests (paper §4.1 / §4.3 definitions)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (BPRange, MatchPair, TripCountClass, bp_match,
+                        bp_range, lp_class, lp_match, mismatch_rate,
+                        trip_count_class)
+from repro.stochastic import loopback_for_trip_count
+
+
+class TestBPRanges:
+    @pytest.mark.parametrize("p,expected", [
+        (0.0, BPRange.NOT_TAKEN), (0.29999, BPRange.NOT_TAKEN),
+        (0.3, BPRange.NEUTRAL), (0.5, BPRange.NEUTRAL),
+        (0.7, BPRange.NEUTRAL),
+        (0.70001, BPRange.TAKEN), (1.0, BPRange.TAKEN),
+    ])
+    def test_boundaries(self, p, expected):
+        assert bp_range(p) is expected
+
+    def test_paper_examples(self):
+        # "0.99 and 0.76 a match, 0.68 and 0.78 a mismatch"
+        assert bp_match(0.99, 0.76)
+        assert not bp_match(0.68, 0.78)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            bp_range(1.5)
+        with pytest.raises(ValueError):
+            bp_range(-0.1)
+
+
+class TestTripCountClasses:
+    @pytest.mark.parametrize("lp,expected", [
+        (0.0, TripCountClass.LOW), (0.89999, TripCountClass.LOW),
+        (0.9, TripCountClass.MEDIAN), (0.98, TripCountClass.MEDIAN),
+        (0.98001, TripCountClass.HIGH), (1.0, TripCountClass.HIGH),
+    ])
+    def test_lp_boundaries(self, lp, expected):
+        assert lp_class(lp) is expected
+
+    @pytest.mark.parametrize("tc,expected", [
+        (1, TripCountClass.LOW), (9.99, TripCountClass.LOW),
+        (10, TripCountClass.MEDIAN), (50, TripCountClass.MEDIAN),
+        (50.01, TripCountClass.HIGH), (10_000, TripCountClass.HIGH),
+    ])
+    def test_tc_boundaries(self, tc, expected):
+        assert trip_count_class(tc) is expected
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            lp_class(1.5)
+        with pytest.raises(ValueError):
+            trip_count_class(0.2)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(1.0, 5000.0))
+    def test_lp_and_tc_classifications_agree(self, trip_count):
+        """LP = (tc-1)/tc maps each trip count to the same class."""
+        lp = loopback_for_trip_count(trip_count)
+        assert lp_class(lp) is trip_count_class(trip_count)
+
+
+class TestMismatchRate:
+    def test_weighted_rate(self):
+        pairs = [
+            MatchPair(0.9, 0.8, 3.0),   # both TAKEN: match
+            MatchPair(0.9, 0.5, 1.0),   # TAKEN vs NEUTRAL: mismatch
+        ]
+        assert mismatch_rate(pairs) == pytest.approx(0.25)
+
+    def test_lp_matcher(self):
+        pairs = [MatchPair(0.99, 0.95, 1.0)]  # HIGH vs MEDIAN
+        assert mismatch_rate(pairs, matcher=lp_match) == 1.0
+
+    def test_empty_returns_none(self):
+        assert mismatch_rate([]) is None
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            mismatch_rate([MatchPair(0.5, 0.5, -1.0)])
+
+    def test_all_matching(self):
+        pairs = [MatchPair(0.1, 0.2, 5.0), MatchPair(0.8, 0.9, 5.0)]
+        assert mismatch_rate(pairs) == 0.0

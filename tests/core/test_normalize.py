@@ -1,0 +1,87 @@
+"""Duplicated-graph (NAVEP) construction tests."""
+
+import pytest
+
+from repro.core import CopyRef, DuplicatedGraph
+from repro.profiles import (BlockProfile, EdgeKind, ProfileSnapshot, Region,
+                            RegionKind)
+
+
+def _snapshot_with_loop_region(nested_cfg):
+    """INIP-style snapshot with the inner loop (2,3) optimised."""
+    snapshot = ProfileSnapshot(label="INIP(10)", input_name="ref",
+                               threshold=10)
+    for block in range(nested_cfg.num_nodes):
+        snapshot.blocks[block] = BlockProfile(block, use=100, taken=50)
+    snapshot.regions.append(Region(
+        region_id=0, kind=RegionKind.LOOP, members=[2, 3],
+        internal_edges=[(0, 1, EdgeKind.TAKEN)],
+        back_edges=[(1, EdgeKind.ALWAYS)],
+        exit_edges=[(0, EdgeKind.FALL, 4)],
+        tail=1))
+    return snapshot
+
+
+def test_nodes_are_originals_plus_instances(nested_cfg):
+    snapshot = _snapshot_with_loop_region(nested_cfg)
+    graph = DuplicatedGraph(nested_cfg, snapshot)
+    assert graph.num_nodes == nested_cfg.num_nodes + 2
+    assert graph.duplicated_blocks() == {2, 3}
+    assert len(graph.copies_of(2)) == 2   # original + instance
+    assert len(graph.copies_of(0)) == 1
+
+
+def test_edges_redirect_to_region_entry(nested_cfg):
+    snapshot = _snapshot_with_loop_region(nested_cfg)
+    graph = DuplicatedGraph(nested_cfg, snapshot)
+    entry_instance = graph.node_index(CopyRef(2, 0, 0))
+    node1 = graph.node_index(CopyRef(1))
+    # original block 1's edge to block 2 must land on the region entry.
+    assert (node1, entry_instance, EdgeKind.ALWAYS) in graph.edges
+
+
+def test_region_structure_edges_present(nested_cfg):
+    snapshot = _snapshot_with_loop_region(nested_cfg)
+    graph = DuplicatedGraph(nested_cfg, snapshot)
+    inst0 = graph.node_index(CopyRef(2, 0, 0))
+    inst1 = graph.node_index(CopyRef(3, 0, 1))
+    node4 = graph.node_index(CopyRef(4))
+    assert (inst0, inst1, EdgeKind.TAKEN) in graph.edges
+    assert (inst1, inst0, EdgeKind.ALWAYS) in graph.edges  # back edge
+    assert (inst0, node4, EdgeKind.FALL) in graph.edges    # exit
+
+
+def test_entry_node_redirection(nested_cfg):
+    snapshot = _snapshot_with_loop_region(nested_cfg)
+    graph = DuplicatedGraph(nested_cfg, snapshot)
+    # program entry (block 0) is not a region entry: original node.
+    assert graph.entry_node() == graph.node_index(CopyRef(0))
+
+
+def test_entry_node_lands_on_region_when_entry_optimised(diamond_cfg):
+    snapshot = ProfileSnapshot(label="INIP(1)", input_name="ref",
+                               threshold=1)
+    snapshot.regions.append(Region(
+        region_id=0, kind=RegionKind.LINEAR, members=[0, 1],
+        internal_edges=[(0, 1, EdgeKind.ALWAYS)], tail=1))
+    graph = DuplicatedGraph(diamond_cfg, snapshot)
+    assert graph.entry_node() == graph.node_index(CopyRef(0, 0, 0))
+
+
+def test_duplicate_membership_across_regions(nested_cfg):
+    snapshot = _snapshot_with_loop_region(nested_cfg)
+    snapshot.regions.append(Region(
+        region_id=1, kind=RegionKind.LINEAR, members=[4, 5, 3],
+        internal_edges=[(0, 1, EdgeKind.TAKEN),
+                        (1, 2, EdgeKind.ALWAYS)],
+        exit_edges=[(0, EdgeKind.FALL, 6), (2, EdgeKind.ALWAYS, 7)],
+        tail=2))
+    graph = DuplicatedGraph(nested_cfg, snapshot)
+    # block 3 now has three copies: original + one per region.
+    assert len(graph.copies_of(3)) == 3
+    assert graph.duplicated_blocks() == {2, 3, 4, 5}
+
+
+def test_copyref_properties():
+    assert CopyRef(5).is_instance is False
+    assert CopyRef(5, 1, 0).is_instance is True

@@ -1,0 +1,94 @@
+"""Tests for §5 future work #3: regions from the training profile."""
+
+import pytest
+
+from repro.core import (compare_train_regions, form_regions_from_profile,
+                        run_threshold_sweep)
+from repro.dbt import DBTConfig
+from repro.profiles import BlockProfile, ProfileSnapshot, avep_from_trace
+from repro.stochastic import ProgramBehavior, steady, walk
+
+
+def _flat(counts):
+    snapshot = ProfileSnapshot(label="INIP(train)", input_name="train",
+                               threshold=None)
+    for block, (use, taken) in counts.items():
+        snapshot.blocks[block] = BlockProfile(block, use=use, taken=taken)
+    return snapshot
+
+
+class TestFormRegions:
+    def test_hot_loop_becomes_loop_region(self, nested_cfg):
+        profile = _flat({
+            0: (1, 0), 1: (100, 0), 2: (2000, 1900), 3: (1900, 0),
+            4: (100, 80), 5: (80, 0), 6: (20, 0), 7: (100, 1), 8: (1, 0),
+        })
+        regions = form_regions_from_profile(nested_cfg, profile)
+        from repro.profiles import RegionKind
+        loop_regions = [r for r in regions
+                        if r.kind is RegionKind.LOOP]
+        assert any(r.entry_block == 2 for r in loop_regions)
+
+    def test_cold_blocks_do_not_seed(self, nested_cfg):
+        profile = _flat({
+            2: (100_000, 96_000), 3: (96_000, 0), 6: (3, 0),
+        })
+        regions = form_regions_from_profile(nested_cfg, profile,
+                                            hot_fraction_of_peak=0.01)
+        for region in regions:
+            assert region.entry_block in (2, 3)
+
+    def test_empty_profile(self, nested_cfg):
+        assert form_regions_from_profile(nested_cfg, _flat({})) == []
+
+    def test_regions_validate(self, nested_cfg, nested_trace):
+        profile = avep_from_trace(nested_trace)
+        for region in form_regions_from_profile(nested_cfg, profile):
+            region.validate()
+
+
+class TestCompareTrainRegions:
+    def _traces(self, nested_cfg, p_train_diamond):
+        behavior = ProgramBehavior()
+        behavior.set(2, steady(0.95))
+        behavior.set(4, steady(0.8))
+        behavior.set(7, steady(0.0001))
+        ref = walk(nested_cfg, behavior, 50_000, seed=1)
+        train_behavior = ProgramBehavior()
+        train_behavior.set(2, steady(0.95))
+        train_behavior.set(4, steady(p_train_diamond))
+        train_behavior.set(7, steady(0.0001))
+        train = walk(nested_cfg, train_behavior, 20_000, seed=2)
+        return avep_from_trace(ref), avep_from_trace(train,
+                                                     input_name="train")
+
+    def test_matching_train_gives_small_sds(self, nested_cfg):
+        avep, train = self._traces(nested_cfg, p_train_diamond=0.8)
+        result = compare_train_regions(nested_cfg, train, avep)
+        assert result.num_loop_regions >= 1
+        assert result.sd_lp is not None and result.sd_lp < 0.05
+
+    def test_divergent_train_inflates_cp(self, nested_cfg):
+        close_avep, close_train = self._traces(nested_cfg, 0.8)
+        far_avep, far_train = self._traces(nested_cfg, 0.2)
+        close = compare_train_regions(nested_cfg, close_train, close_avep)
+        far = compare_train_regions(nested_cfg, far_train, far_avep)
+        # the diamond lives in a region; a flipped training probability
+        # must show up in at least one region-level metric
+        def worst(r):
+            return max(v for v in (r.sd_cp, r.sd_lp) if v is not None)
+        assert worst(far) > worst(close)
+
+
+def test_sweep_populates_train_region_comparison(nested_cfg,
+                                                 nested_behavior):
+    ref = walk(nested_cfg, nested_behavior, 40_000, seed=3)
+    train = walk(nested_cfg, nested_behavior, 15_000, seed=4)
+    study = run_threshold_sweep("demo", nested_cfg, ref, train, [50],
+                                base_config=DBTConfig(pool_trigger_size=3))
+    comparison = study.train_region_comparison
+    assert comparison.num_loop_regions + comparison.num_linear_regions > 0
+    if comparison.sd_lp is not None:
+        assert 0.0 <= comparison.sd_lp <= 1.0
+    if comparison.sd_cp is not None:
+        assert 0.0 <= comparison.sd_cp <= 1.0

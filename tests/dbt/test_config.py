@@ -1,0 +1,38 @@
+"""DBT configuration validation tests."""
+
+import pytest
+
+from repro.dbt import DBTConfig
+
+
+def test_defaults_valid():
+    config = DBTConfig()
+    assert config.threshold >= 1
+    assert 0.0 <= config.include_prob <= 1.0
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"threshold": 0},
+    {"pool_trigger_size": 0},
+    {"include_prob": -0.1},
+    {"include_prob": 1.1},
+    {"hot_fraction": -1.0},
+    {"max_region_blocks": 0},
+])
+def test_invalid_values_rejected(kwargs):
+    with pytest.raises(ValueError):
+        DBTConfig(**kwargs)
+
+
+def test_with_threshold_copies():
+    base = DBTConfig(threshold=100, pool_trigger_size=5)
+    derived = base.with_threshold(200)
+    assert derived.threshold == 200
+    assert derived.pool_trigger_size == 5
+    assert base.threshold == 100  # original untouched
+
+
+def test_frozen():
+    config = DBTConfig()
+    with pytest.raises(Exception):
+        config.threshold = 5  # type: ignore[misc]

@@ -1,0 +1,70 @@
+"""Counter-table tests: counting, freezing, profiling-op accounting."""
+
+from repro.dbt import CounterTable
+
+
+def test_count_use_returns_new_value():
+    table = CounterTable(3)
+    assert table.count_use(1) == 1
+    assert table.count_use(1) == 2
+    assert table.use[1] == 2
+
+
+def test_taken_only_counts_taken_outcomes():
+    table = CounterTable(2)
+    table.count_use(0)
+    table.count_taken(0, True)
+    table.count_taken(0, False)
+    assert table.taken[0] == 1
+    # profiling ops: 1 use + 1 taken increment (not-taken is free)
+    assert table.profiling_ops == 2
+
+
+def test_freeze_stops_counting():
+    table = CounterTable(2)
+    table.count_use(0)
+    table.freeze(0, step=10)
+    assert table.count_use(0) == 0
+    table.count_taken(0, True)
+    assert table.use[0] == 1
+    assert table.taken[0] == 0
+    assert table.is_frozen(0)
+    assert not table.is_frozen(1)
+
+
+def test_freeze_is_idempotent():
+    table = CounterTable(1)
+    table.freeze(0, step=5)
+    table.freeze(0, step=99)
+    assert table.frozen_at[0] == 5
+
+
+def test_branch_probability():
+    table = CounterTable(2)
+    assert table.branch_probability(0) is None
+    for outcome in (True, True, False, True):
+        table.count_use(0)
+        table.count_taken(0, outcome)
+    assert table.branch_probability(0) == 0.75
+    assert table.counters(0) == (4, 3)
+
+
+def test_block_profiles_skip_unexecuted():
+    table = CounterTable(3)
+    table.count_use(1)
+    table.count_taken(1, True)
+    table.freeze(1, step=1)
+    profiles = table.block_profiles()
+    assert set(profiles) == {1}
+    assert profiles[1].use == 1
+    assert profiles[1].taken == 1
+    assert profiles[1].frozen_at == 1
+
+
+def test_profiling_ops_equal_counter_sums():
+    table = CounterTable(4)
+    outcomes = [(0, True), (1, False), (0, True), (2, True), (0, False)]
+    for block, taken in outcomes:
+        table.count_use(block)
+        table.count_taken(block, taken)
+    assert table.profiling_ops == sum(table.use) + sum(table.taken)

@@ -1,0 +1,46 @@
+"""Candidate-pool trigger-policy tests."""
+
+from repro.dbt import CandidatePool, DBTConfig
+
+
+def _pool(size=3, register_twice=True):
+    return CandidatePool(DBTConfig(pool_trigger_size=size,
+                                   register_twice_triggers=register_twice))
+
+
+def test_pool_fills_then_triggers():
+    pool = _pool(size=3)
+    assert not pool.register(1)
+    assert not pool.register(2)
+    assert pool.register(3)
+    assert len(pool) == 3
+
+
+def test_register_twice_triggers():
+    pool = _pool(size=100)
+    assert not pool.register(1)
+    assert pool.register(1)  # second registration of a pooled block
+
+
+def test_register_twice_can_be_disabled():
+    pool = _pool(size=100, register_twice=False)
+    assert not pool.register(1)
+    assert not pool.register(1)
+    assert len(pool) == 1  # no duplicate entries
+
+
+def test_drain_empties_and_preserves_order():
+    pool = _pool(size=10)
+    for block in (5, 2, 9):
+        pool.register(block)
+    assert pool.drain() == [5, 2, 9]
+    assert len(pool) == 0
+    assert 5 not in pool
+
+
+def test_membership_and_blocks():
+    pool = _pool(size=10)
+    pool.register(7)
+    assert 7 in pool
+    assert 8 not in pool
+    assert pool.blocks == [7]

@@ -1,0 +1,173 @@
+"""Region-formation tests on hand-built CFGs."""
+
+import pytest
+
+from repro.cfg import ControlFlowGraph, find_loops
+from repro.dbt import DBTConfig, RegionFormer
+from repro.profiles import RegionKind
+
+
+def _former(cfg, **config_kwargs):
+    config = DBTConfig(**config_kwargs)
+    return RegionFormer(cfg, find_loops(cfg), config)
+
+
+def _counters(table):
+    """CounterView from a dict block -> (use, taken)."""
+    return lambda block: table.get(block, (0, 0))
+
+
+class TestLoopRegions:
+    def test_simple_loop_region(self, nested_cfg):
+        former = _former(nested_cfg, threshold=10)
+        counters = _counters({
+            2: (100, 96), 3: (96, 0),
+        })
+        result = former.form([2], counters, set(), next_region_id=0)
+        assert len(result.regions) == 1
+        region = result.regions[0]
+        assert region.kind is RegionKind.LOOP
+        assert region.members == [2, 3]
+        assert region.back_edges  # latch returns to the header
+        assert (0, 1) in {(s, d) for s, d, _ in region.internal_edges}
+        # fall edge of the header leaves the loop
+        assert any(target == 4 for _, _, target in region.exit_edges)
+        assert result.newly_optimized == {2, 3}
+
+    def test_loop_region_restricted_to_body(self, nested_cfg):
+        former = _former(nested_cfg, threshold=10)
+        counters = _counters({2: (100, 96), 3: (96, 0), 4: (100, 80)})
+        result = former.form([2], counters, set(), next_region_id=0)
+        region = result.regions[0]
+        assert 4 not in region.members  # outside the inner loop body
+
+    def test_cold_latch_degrades_to_linear(self):
+        # Header hot, latch far below hot_fraction * threshold.
+        cfg = ControlFlowGraph([(1,), (2, 3), (1,), ()])
+        former = _former(cfg, threshold=100, hot_fraction=0.5)
+        counters = _counters({1: (200, 190), 2: (4, 0)})
+        result = former.form([1], counters, set(), next_region_id=0)
+        region = result.regions[0]
+        assert region.kind is RegionKind.LINEAR
+        assert region.members == [1]
+
+
+class TestLinearRegions:
+    def test_diamond_remerge_included(self, diamond_cfg):
+        former = _former(diamond_cfg, threshold=10, include_prob=0.3)
+        counters = _counters({
+            0: (100, 0), 1: (100, 40), 2: (40, 0), 3: (60, 0), 4: (100, 0),
+        })
+        result = former.form([1], counters, set(), next_region_id=0)
+        region = result.regions[0]
+        assert region.kind is RegionKind.LINEAR
+        assert set(region.members) == {1, 2, 3, 4}
+        # tail = the join block at the end of the most likely path
+        assert region.members[region.tail] == 4
+        assert not region.exit_edges  # fully covered diamond
+
+    def test_unlikely_arm_becomes_exit(self, diamond_cfg):
+        former = _former(diamond_cfg, threshold=10, include_prob=0.3)
+        counters = _counters({
+            0: (100, 0), 1: (100, 10), 2: (10, 0), 3: (90, 0), 4: (100, 0),
+        })
+        result = former.form([1], counters, set(), next_region_id=0)
+        region = result.regions[0]
+        assert 2 not in region.members
+        assert any(target == 2 for _, _, target in region.exit_edges)
+
+    def test_growth_stops_at_loop_header(self, nested_cfg):
+        former = _former(nested_cfg, threshold=10)
+        counters = _counters({
+            4: (100, 80), 5: (80, 0), 6: (20, 0), 7: (100, 0),
+            1: (100, 0), 2: (2000, 1900),
+        })
+        result = former.form([4], counters, set(), next_region_id=0)
+        region = result.regions[0]
+        # 7's fall edge targets outer header 1 — a loop boundary.
+        assert 1 not in region.members
+        assert any(target == 1 for _, _, target in region.exit_edges)
+
+    def test_region_size_cap(self):
+        n = 30
+        succs = [(i + 1,) for i in range(n - 1)] + [()]
+        cfg = ControlFlowGraph(succs)
+        former = _former(cfg, threshold=1, max_region_blocks=8)
+        counters = _counters({i: (100, 0) for i in range(n)})
+        result = former.form([0], counters, set(), next_region_id=0)
+        assert result.regions[0].num_instances == 8
+
+    def test_unprofiled_branch_includes_both_arms(self, diamond_cfg):
+        # No counters: branch probability defaults to 0.5 > include_prob.
+        former = _former(diamond_cfg, threshold=1, hot_fraction=0.0)
+        counters = _counters({b: (10, 5) if b == 1 else (10, 0)
+                              for b in range(5)})
+        result = former.form([1], counters, set(), next_region_id=0)
+        assert set(result.regions[0].members) == {1, 2, 3, 4}
+
+
+class TestDuplication:
+    def test_block_duplicated_into_second_region(self, nested_cfg):
+        former = _former(nested_cfg, threshold=10, allow_duplication=True)
+        counters = _counters({
+            2: (100, 96), 3: (96, 0), 5: (80, 0), 6: (20, 0),
+            4: (100, 80), 7: (100, 0),
+        })
+        first = former.form([2], counters, set(), next_region_id=0)
+        optimized = set(first.newly_optimized)
+        # 5/6/7 region grows from 4; blocks already optimised may still be
+        # duplicated (none here, but the call must skip frozen seeds).
+        second = former.form([4, 2], counters, optimized, next_region_id=1)
+        # 2 is frozen: it must not seed, and newly_optimized excludes it.
+        assert all(r.members[0] != 2 for r in second.regions)
+        assert 2 not in second.newly_optimized
+
+    def test_duplication_disabled(self, nested_cfg):
+        former = _former(nested_cfg, threshold=10, allow_duplication=False,
+                         hot_fraction=0.0)
+        counters = _counters({b: (100, 50) for b in range(9)})
+        first = former.form([4], counters, set(), next_region_id=0)
+        optimized = set(first.newly_optimized)
+        assert 5 in optimized and 6 in optimized
+        second = former.form([0], counters, optimized, next_region_id=10)
+        for region in second.regions:
+            for member in region.members[1:]:
+                assert member not in optimized
+
+
+class TestOrdering:
+    def test_loop_headers_seed_before_hotter_linear_blocks(self, nested_cfg):
+        former = _former(nested_cfg, threshold=10)
+        counters = _counters({
+            2: (50, 48), 3: (48, 0), 4: (500, 400), 5: (400, 0),
+            6: (100, 0), 7: (500, 0),
+        })
+        result = former.form([4, 2], counters, set(), next_region_id=0)
+        # despite 4 being hotter, the loop header 2 seeds first
+        assert result.regions[0].kind is RegionKind.LOOP
+        assert result.regions[0].members[0] == 2
+
+    def test_region_ids_sequential(self, nested_cfg):
+        former = _former(nested_cfg, threshold=10)
+        counters = _counters({b: (100, 50) for b in range(9)})
+        result = former.form([2, 4], counters, set(), next_region_id=7)
+        assert [r.region_id for r in result.regions] == \
+            list(range(7, 7 + len(result.regions)))
+
+
+def test_internal_cycles_avoided():
+    # 1 -> 2 -> 3 -> 1 cycle where 1 is NOT a loop header seed
+    # (seeded from 2, the back edge 3->1->2 would cycle).
+    cfg = ControlFlowGraph([(1,), (2,), (3,), (1,)])
+    former = _former(cfg, threshold=1, hot_fraction=0.0)
+    counters = _counters({b: (100, 0) for b in range(4)})
+    result = former.form([2], counters, set(), next_region_id=0)
+    region = result.regions[0]
+    region.validate()
+    # whatever got included, the instance graph must be acyclic: validate
+    # via topological sort of internal edges.
+    from repro.cfg import topological_order
+    succs = [[] for _ in range(region.num_instances)]
+    for s, d, _ in region.internal_edges:
+        succs[s].append(d)
+    topological_order(succs, roots=[0])  # raises on a cycle

@@ -1,0 +1,61 @@
+"""Figure-builder tests on a small two-benchmark study."""
+
+import pytest
+
+from repro.harness import FIGURES, StudyResults, render
+from repro.harness import figures as fig
+from repro.harness import run_full_study
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    return run_full_study(names=["gzip", "swim"], thresholds=[5, 50, 500],
+                          steps_scale=0.02, include_perf=True,
+                          cache_dir=None)
+
+
+def test_registry_covers_every_figure():
+    assert sorted(FIGURES) == [8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18]
+
+
+@pytest.mark.parametrize("number", sorted([8, 9, 10, 11, 12, 13, 14, 15,
+                                           16, 17, 18]))
+def test_every_figure_builds_and_renders(small_results, number):
+    table = FIGURES[number](small_results)
+    text = render(table)
+    assert table.title in text
+    assert len(table.rows) >= 3  # one per threshold at least
+
+
+def test_fig08_columns(small_results):
+    table = fig.fig08_sd_bp(small_results)
+    assert table.columns == ["threshold", "int", "fp", "int(train)",
+                             "fp(train)"]
+    # threshold labels are paper-nominal
+    assert table.rows[0][0] == "50"
+    assert table.rows[-1][0] == "5k"
+
+
+def test_fig09_has_one_column_per_int_benchmark(small_results):
+    table = fig.fig09_sd_bp_int(small_results)
+    assert table.columns == ["threshold", "gzip"]
+    assert table.rows[-1][0] == "train"
+
+
+def test_fig12_covers_fp(small_results):
+    table = fig.fig12_bp_mismatch_fp(small_results)
+    assert table.columns == ["threshold", "swim"]
+
+
+def test_fig17_normalised_to_base(small_results):
+    table = fig.fig17_performance(small_results)
+    values = [row[1] for row in table.rows if row[1] is not None]
+    assert values  # some INT perf data
+    assert all(v > 0 for v in values)
+
+
+def test_fig18_normalised_to_train(small_results):
+    table = fig.fig18_overhead(small_results)
+    # small thresholds use a tiny fraction of the training-run ops
+    first_row = table.rows[0]
+    assert first_row[3] is not None and first_row[3] < 1.0

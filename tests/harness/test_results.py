@@ -1,0 +1,87 @@
+"""StudyResults persistence and aggregation tests."""
+
+import pytest
+
+from repro.harness import (BenchmarkResult, PerfPoint, StudyResults,
+                           average_scalar, average_series)
+
+
+def _result(name="demo", suite="int"):
+    return BenchmarkResult(
+        name=name, suite=suite, thresholds=[10, 100],
+        sd_bp={10: 0.2, 100: 0.1},
+        bp_mismatch={10: 0.3, 100: None},
+        sd_cp={10: None, 100: 0.05},
+        sd_lp={10: 0.15, 100: 0.08},
+        lp_mismatch={10: 0.5, 100: 0.0},
+        train_sd_bp=0.12, train_bp_mismatch=0.09,
+        train_sd_cp=0.07, train_sd_lp=0.11,
+        profiling_ops={10: 100, 100: 900},
+        train_ops=10_000, avep_ops=50_000,
+        num_regions={10: 4, 100: 2},
+        perf={1: PerfPoint(total=100.0, unoptimized=50, optimized=30,
+                           side_exits=15, translation=5, num_side_exits=3,
+                           optimized_fraction=0.9),
+              10: PerfPoint(total=80.0, unoptimized=40, optimized=30,
+                            side_exits=5, translation=5, num_side_exits=1,
+                            optimized_fraction=0.8)})
+
+
+def test_perf_relative():
+    result = _result()
+    rel = result.perf_relative()
+    assert rel[1] == 1.0
+    assert rel[10] == pytest.approx(1.25)
+    with pytest.raises(KeyError):
+        result.perf_relative(base_threshold=999)
+
+
+def test_save_load_roundtrip(tmp_path):
+    results = StudyResults()
+    results.benchmarks["demo"] = _result()
+    results.benchmarks["swim"] = _result(name="swim", suite="fp")
+    path = str(tmp_path / "results.json")
+    results.save(path)
+    loaded = StudyResults.load(path)
+    assert set(loaded.benchmarks) == {"demo", "swim"}
+    restored = loaded.benchmarks["demo"]
+    assert restored.sd_bp == {10: 0.2, 100: 0.1}
+    assert restored.bp_mismatch[100] is None
+    assert restored.perf[1].total == 100.0
+    assert restored.perf_relative()[10] == pytest.approx(1.25)
+
+
+def test_stale_format_rejected(tmp_path):
+    import json
+    path = str(tmp_path / "stale.json")
+    with open(path, "w") as f:
+        json.dump({"version": -1, "benchmarks": {}}, f)
+    with pytest.raises(ValueError, match="stale"):
+        StudyResults.load(path)
+
+
+def test_suite_filters():
+    results = StudyResults()
+    results.benchmarks["a"] = _result("a", "int")
+    results.benchmarks["b"] = _result("b", "fp")
+    assert results.names() == ["a", "b"]
+    assert results.names("fp") == ["b"]
+    assert [r.name for r in results.of_suite("int")] == ["a"]
+
+
+def test_average_series_skips_none():
+    a = _result("a")
+    b = _result("b")
+    b.bp_mismatch = {10: 0.1, 100: 0.2}
+    avg = average_series([a, b], "bp_mismatch", [10, 100])
+    assert avg[10] == pytest.approx(0.2)
+    assert avg[100] == pytest.approx(0.2)  # only b has a value
+
+
+def test_average_scalar():
+    a = _result("a")
+    b = _result("b")
+    b.train_sd_bp = None
+    assert average_scalar([a, b], "train_sd_bp") == pytest.approx(0.12)
+    a.train_sd_bp = None
+    assert average_scalar([a, b], "train_sd_bp") is None

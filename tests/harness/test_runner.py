@@ -1,0 +1,85 @@
+"""Runner tests: per-benchmark study at reduced scale, plus caching.
+
+These are the heaviest tests in the suite; scale is kept small via
+``steps_scale``.
+"""
+
+import pytest
+
+from repro.dbt import DBTConfig
+from repro.harness import run_full_study, study_benchmark
+from repro.workloads import get_benchmark
+
+THRESHOLDS = [5, 50, 500]
+
+
+@pytest.fixture(scope="module")
+def swim_result():
+    return study_benchmark(get_benchmark("swim"), THRESHOLDS,
+                           config=DBTConfig(pool_trigger_size=4),
+                           steps_scale=0.02)
+
+
+def test_result_structure(swim_result):
+    assert swim_result.name == "swim"
+    assert swim_result.suite == "fp"
+    assert swim_result.thresholds == THRESHOLDS
+    for t in THRESHOLDS:
+        assert t in swim_result.sd_bp
+        assert t in swim_result.profiling_ops
+        assert t in swim_result.num_regions
+    assert swim_result.train_ops > 0
+    assert swim_result.avep_ops > 0
+
+
+def test_perf_points_include_base(swim_result):
+    assert 1 in swim_result.perf
+    for t in THRESHOLDS:
+        assert t in swim_result.perf
+    rel = swim_result.perf_relative()
+    assert rel[1] == 1.0
+    assert all(v > 0 for v in rel.values())
+
+
+def test_ops_increase_with_threshold(swim_result):
+    ops = [swim_result.profiling_ops[t] for t in THRESHOLDS]
+    assert ops == sorted(ops)
+    assert all(o <= swim_result.avep_ops for o in ops)
+
+
+def test_perf_can_be_skipped():
+    result = study_benchmark(get_benchmark("art"), [50],
+                             steps_scale=0.02, include_perf=False)
+    assert result.perf == {}
+    assert result.sd_bp[50] is not None
+
+
+def test_full_study_without_cache():
+    results = run_full_study(names=["swim", "gzip"], thresholds=[50],
+                             steps_scale=0.02, include_perf=False,
+                             cache_dir=None)
+    assert set(results.benchmarks) == {"swim", "gzip"}
+    assert results.benchmarks["gzip"].suite == "int"
+
+
+def test_full_study_uses_cache(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    kwargs = dict(names=["art"], thresholds=[50], steps_scale=0.02,
+                  include_perf=False, cache_dir=cache_dir)
+    first = run_full_study(**kwargs)
+    second = run_full_study(**kwargs)  # served from disk
+    assert first.benchmarks["art"].sd_bp == \
+        second.benchmarks["art"].sd_bp
+    import os
+    assert any(name.startswith("study-")
+               for name in os.listdir(cache_dir))
+
+
+def test_cache_key_distinguishes_configs(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    run_full_study(names=["art"], thresholds=[50], steps_scale=0.02,
+                   include_perf=False, cache_dir=cache_dir)
+    run_full_study(names=["art"], thresholds=[500], steps_scale=0.02,
+                   include_perf=False, cache_dir=cache_dir)
+    import os
+    assert len(os.listdir(cache_dir)) == 2

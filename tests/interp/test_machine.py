@@ -1,0 +1,61 @@
+"""Unit tests for the machine state."""
+
+import pytest
+
+from repro.interp import Frame, MachineState
+from repro.ir import ExecutionError
+
+
+def test_registers_default_to_zero():
+    state = MachineState()
+    assert state.read("never_written") == 0
+
+
+def test_register_write_read():
+    state = MachineState()
+    state.write("r0", 42)
+    assert state.read("r0") == 42
+    state.write("r0", -1.5)
+    assert state.read("r0") == -1.5
+
+
+def test_memory_roundtrip():
+    state = MachineState(memory_words=16)
+    state.store(3, 99)
+    assert state.load(3) == 99
+    assert state.load(4) == 0
+
+
+@pytest.mark.parametrize("address", [-1, 16, 1000])
+def test_memory_bounds_checked(address):
+    state = MachineState(memory_words=16)
+    with pytest.raises(ExecutionError):
+        state.load(address)
+    with pytest.raises(ExecutionError):
+        state.store(address, 1)
+
+
+def test_non_integer_address_rejected():
+    state = MachineState()
+    with pytest.raises(ExecutionError):
+        state.load(1.5)  # type: ignore[arg-type]
+
+
+def test_call_stack_depth_limit():
+    state = MachineState(max_call_depth=2)
+    state.push_frame(Frame("f", "b", 0))
+    state.push_frame(Frame("f", "b", 0))
+    with pytest.raises(ExecutionError, match="call stack"):
+        state.push_frame(Frame("f", "b", 0))
+
+
+def test_pop_empty_stack_returns_none():
+    assert MachineState().pop_frame() is None
+
+
+def test_frames_pop_in_lifo_order():
+    state = MachineState()
+    state.push_frame(Frame("f", "a", 1))
+    state.push_frame(Frame("g", "b", 2))
+    assert state.pop_frame().function == "g"
+    assert state.pop_frame().function == "f"

@@ -1,0 +1,106 @@
+"""Unit tests for the fluent program builder."""
+
+import pytest
+
+from repro.ir import BuildError, Cond, Opcode, ProgramBuilder
+
+
+def test_quickstart_shape():
+    pb = ProgramBuilder()
+    with pb.function("main") as fb:
+        fb.block("entry").li("r0", 0).jmp("loop")
+        (fb.block("loop").add("r0", "r0", "r1")
+           .br(Cond.GT, "r1", "r0", taken="loop", fall="done"))
+        fb.block("done").halt()
+    program = pb.build()
+    assert program.num_blocks() == 3
+    assert program.entry_function.entry == "entry"
+
+
+def test_emit_after_terminator_rejected():
+    pb = ProgramBuilder()
+    fb = pb.function("main")
+    bb = fb.block("b").halt()
+    with pytest.raises(BuildError):
+        bb.nop()
+
+
+def test_unsealed_block_rejected_at_finish():
+    pb = ProgramBuilder()
+    fb = pb.function("main")
+    fb.block("b").li("r0", 1)  # never sealed
+    with pytest.raises(BuildError):
+        pb.build()
+
+
+def test_context_manager_checks_on_clean_exit_only():
+    pb = ProgramBuilder()
+    with pytest.raises(BuildError):
+        with pb.function("main") as fb:
+            fb.block("b").nop()  # unsealed -> finish() raises
+
+
+def test_duplicate_function_rejected():
+    pb = ProgramBuilder()
+    pb.function("f")
+    with pytest.raises(BuildError):
+        pb.function("f")
+
+
+def test_duplicate_block_rejected():
+    pb = ProgramBuilder()
+    fb = pb.function("main")
+    fb.block("b").halt()
+    with pytest.raises(BuildError):
+        fb.block("b")
+
+
+def test_nop_padding_count():
+    pb = ProgramBuilder()
+    fb = pb.function("main")
+    fb.block("b").nop(5).halt()
+    program = pb.build()
+    block = program.entry_function.entry_block
+    assert len(block) == 6
+
+
+def test_op_generic_emit():
+    pb = ProgramBuilder()
+    fb = pb.function("main")
+    fb.block("b").op(Opcode.XOR, "a", "b", "c").halt()
+    program = pb.build()
+    assert program.entry_function.entry_block.instructions[0].opcode \
+        is Opcode.XOR
+
+
+def test_validation_runs_on_build():
+    pb = ProgramBuilder()
+    fb = pb.function("main")
+    fb.block("b").jmp("missing")
+    with pytest.raises(Exception):  # ValidationError
+        pb.build()
+
+
+def test_validation_can_be_skipped():
+    pb = ProgramBuilder()
+    fb = pb.function("main")
+    fb.block("b").jmp("missing")
+    program = pb.build(validate=False)
+    assert program.num_blocks() == 1
+
+
+def test_memory_and_call_instructions_chain():
+    pb = ProgramBuilder()
+    with pb.function("helper") as fb:
+        fb.block("entry").ret()
+    with pb.function("main") as fb:
+        (fb.block("entry")
+           .li("addr", 16)
+           .store("addr", "addr", 0)
+           .load("out", "addr", 0)
+           .mov("copy", "out")
+           .neg("negated", "copy")
+           .call("helper")
+           .halt())
+    program = pb.build()
+    assert program.num_blocks() == 2

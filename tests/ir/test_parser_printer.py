@@ -1,0 +1,99 @@
+"""Round-trip and error tests for the textual assembler."""
+
+import pytest
+
+from repro.ir import (Cond, Opcode, ParseError, ProgramBuilder,
+                      format_instruction, format_program, parse_program)
+from repro.ir import instructions as ins
+
+SOURCE = """
+# a tiny program
+func main:
+  entry:
+    li r0, 0
+    li r1, 10
+    li one, 1
+    jmp loop
+  loop:
+    add r0, r0, r1
+    sub r1, r1, one
+    br gt, r1, r0, loop, done   # keep looping
+  done:
+    call helper
+    halt
+
+func helper:
+  entry:
+    nop
+    ret
+"""
+
+
+def test_parse_basic_structure():
+    program = parse_program(SOURCE)
+    assert set(program.functions) == {"main", "helper"}
+    assert program.functions["main"].entry == "entry"
+    assert len(program.functions["main"].blocks) == 3
+
+
+def test_round_trip_is_stable():
+    program = parse_program(SOURCE)
+    text = format_program(program)
+    again = parse_program(text)
+    assert format_program(again) == text
+
+
+def test_builder_output_parses_back():
+    pb = ProgramBuilder()
+    with pb.function("main") as fb:
+        (fb.block("entry").li("x", 3).li("y", -2).mul("z", "x", "y")
+           .store("z", "x", 1).load("w", "x", 1)
+           .br(Cond.NE, "w", "z", taken="a", fall="b"))
+        fb.block("a").jmp("b")
+        fb.block("b").halt()
+    text = format_program(pb.build())
+    program = parse_program(text)
+    assert format_program(program) == text
+
+
+@pytest.mark.parametrize("opcode", [
+    ins.li("r", 1), ins.mov("a", "b"), ins.neg("a", "b"),
+    ins.add("a", "b", "c"), ins.binop(Opcode.FDIV, "a", "b", "c"),
+    ins.load("a", "b", 3), ins.store("a", "b", -1), ins.call("f"),
+    ins.br(Cond.LE, "a", "b", "x", "y"), ins.jmp("x"), ins.ret(),
+    ins.halt(), ins.nop(),
+])
+def test_every_instruction_formats(opcode):
+    text = format_instruction(opcode)
+    assert text.startswith(opcode.opcode.value)
+
+
+def test_float_immediates_round_trip():
+    program = parse_program("func main:\n b:\n  li f0, 2.5\n  halt\n")
+    instr = program.entry_function.entry_block.instructions[0]
+    assert instr.imm == 2.5
+
+
+@pytest.mark.parametrize("bad,line", [
+    ("func main:\n b:\n  bogus r0\n  halt\n", 3),
+    ("func main:\n b:\n  li r0\n  halt\n", 3),
+    ("func main:\n b:\n  br zz, a, b, x, y\n  halt\n", 3),
+    ("func main:\n b:\n  load a, b, 1.5\n  halt\n", 3),
+    ("li r0, 1\n", 1),                       # instruction outside block
+    ("func main:\n  li r0, 1\n", 2),          # instruction before a label
+])
+def test_parse_errors_carry_line_numbers(bad, line):
+    with pytest.raises(ParseError) as err:
+        parse_program(bad, validate=False)
+    assert err.value.line == line
+
+
+def test_label_outside_function_rejected():
+    with pytest.raises(ParseError):
+        parse_program("b:\n  halt\n")
+
+
+def test_validation_failure_propagates():
+    from repro.ir import ValidationError
+    with pytest.raises(ValidationError):
+        parse_program("func main:\n b:\n  jmp missing\n")

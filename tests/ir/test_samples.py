@@ -1,0 +1,78 @@
+"""The sample guest programs compute what they claim."""
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.ir import validate_program
+from repro.ir.samples import (SAMPLES, branchy_prng, fibonacci, matmul,
+                              nested_counters, sieve, sum_loop)
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLES))
+def test_samples_validate_and_halt(name):
+    program = SAMPLES[name]()
+    validate_program(program)
+    result = Interpreter(program, step_limit=10**7).run()
+    assert result.halted
+
+
+def test_sum_loop():
+    interp = Interpreter(sum_loop(100))
+    interp.run()
+    assert interp.state.read("acc") == 5050
+
+
+@pytest.mark.parametrize("n,expected", [(0, 0), (1, 1), (2, 1), (10, 55),
+                                        (20, 6765)])
+def test_fibonacci(n, expected):
+    interp = Interpreter(fibonacci(n))
+    interp.run()
+    assert interp.state.read("fib") == expected
+
+
+def test_nested_counters():
+    interp = Interpreter(nested_counters(outer=7, inner=11))
+    interp.run()
+    assert interp.state.read("acc") == 77
+
+
+def test_sieve_counts_primes():
+    interp = Interpreter(sieve(100), step_limit=10**7)
+    interp.run()
+    assert interp.state.read("count") == 25  # primes below 100
+    # spot-check the flags
+    assert interp.state.memory[97] == 0   # prime
+    assert interp.state.memory[91] == 1   # 7*13
+
+
+def test_matmul_identity():
+    size = 5
+    interp = Interpreter(matmul(size=size), step_limit=10**7)
+    interp.run()
+    # C = A * I = A, with A[i][j] = i + j
+    for i in range(size):
+        for j in range(size):
+            assert interp.state.memory[3000 + i * size + j] == i + j
+
+
+def test_branchy_prng_hit_rate():
+    interp = Interpreter(branchy_prng(iterations=2000), step_limit=10**7)
+    interp.run()
+    hits = interp.state.read("hits")
+    assert 0.70 <= hits / 2000 <= 0.80  # ~75%-taken branch
+
+
+def test_branchy_prng_profiles_under_dbt():
+    """The sample drives the full instruction-level DBT pipeline."""
+    from repro.cfg import cfg_from_program
+    from repro.dbt import DBTConfig, TwoPhaseDBT
+
+    program = branchy_prng(iterations=3000)
+    cfg, _ = cfg_from_program(program)
+    dbt = TwoPhaseDBT(cfg, DBTConfig(threshold=100, pool_trigger_size=2))
+    Interpreter(program, listener=dbt, step_limit=10**8).run()
+    snapshot = dbt.snapshot()
+    assert snapshot.regions
+    loop_id = program.block_ids()[("main", "loop")]
+    bp = snapshot.branch_probability(loop_id)
+    assert bp == pytest.approx(0.75, abs=0.06)

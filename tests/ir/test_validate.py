@@ -1,0 +1,95 @@
+"""Unit tests for the structural validator."""
+
+import pytest
+
+from repro.ir import (BasicBlock, Cond, Function, Instruction, Opcode,
+                      Program, ValidationError, validate_program)
+from repro.ir import instructions as ins
+
+
+def _program_with(block: BasicBlock) -> Program:
+    program = Program()
+    fn = Function("main")
+    fn.add_block(block)
+    program.add_function(fn)
+    return program
+
+
+def test_valid_program_passes():
+    program = _program_with(BasicBlock("entry", [ins.nop(), ins.halt()]))
+    validate_program(program)  # no exception
+
+
+def test_missing_entry_function():
+    program = Program(entry="main")  # empty
+    with pytest.raises(ValidationError, match="entry function"):
+        validate_program(program)
+
+
+def test_empty_block():
+    with pytest.raises(ValidationError, match="empty block"):
+        validate_program(_program_with(BasicBlock("entry", [])))
+
+
+def test_block_without_terminator():
+    with pytest.raises(ValidationError, match="does not end"):
+        validate_program(_program_with(BasicBlock("entry", [ins.nop()])))
+
+
+def test_terminator_in_middle():
+    block = BasicBlock("entry", [ins.halt(), ins.nop(), ins.halt()])
+    with pytest.raises(ValidationError, match="not last"):
+        validate_program(_program_with(block))
+
+
+def test_branch_to_undefined_block():
+    block = BasicBlock("entry", [ins.jmp("missing")])
+    with pytest.raises(ValidationError, match="undefined block"):
+        validate_program(_program_with(block))
+
+
+def test_call_to_undefined_function():
+    block = BasicBlock("entry", [ins.call("missing"), ins.halt()])
+    with pytest.raises(ValidationError, match="undefined function"):
+        validate_program(_program_with(block))
+
+
+def test_wrong_register_arity():
+    bad = Instruction(Opcode.ADD, regs=("a", "b"))  # needs 3
+    block = BasicBlock("entry", [bad, ins.halt()])
+    with pytest.raises(ValidationError, match="expects 3"):
+        validate_program(_program_with(block))
+
+
+def test_li_requires_immediate():
+    bad = Instruction(Opcode.LI, regs=("a",))
+    block = BasicBlock("entry", [bad, ins.halt()])
+    with pytest.raises(ValidationError, match="immediate"):
+        validate_program(_program_with(block))
+
+
+def test_br_requires_condition_and_targets():
+    bad = Instruction(Opcode.BR, regs=("a", "b"), target="entry")
+    block = BasicBlock("entry", [bad])
+    with pytest.raises(ValidationError):
+        validate_program(_program_with(block))
+
+
+def test_all_errors_reported_at_once():
+    program = Program()
+    fn = Function("main")
+    fn.add_block(BasicBlock("a", []))
+    fn.add_block(BasicBlock("b", [ins.jmp("missing")]))
+    program.add_function(fn)
+    with pytest.raises(ValidationError) as err:
+        validate_program(program)
+    message = str(err.value)
+    assert "empty block" in message
+    assert "undefined block" in message
+
+
+def test_function_with_no_blocks():
+    program = Program()
+    program.add_function(Function("main"))
+    with pytest.raises(ValidationError, match="no blocks"):
+        validate_program(program)

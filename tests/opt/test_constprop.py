@@ -1,0 +1,104 @@
+"""Targeted constant/copy propagation tests."""
+
+import pytest
+
+from repro.ir import instructions as ins
+from repro.ir.instructions import Opcode
+from repro.opt import propagate_constants
+
+
+def _opcodes(code):
+    return [i.opcode for i in code]
+
+
+def test_constant_binop_folds_to_li():
+    code = [ins.li("a", 6), ins.li("b", 7), ins.mul("p", "a", "b")]
+    out = propagate_constants(code)
+    assert out[-1].opcode is Opcode.LI
+    assert out[-1].imm == 42
+
+
+def test_folding_chains():
+    code = [ins.li("a", 1), ins.li("b", 2), ins.add("c", "a", "b"),
+            ins.add("d", "c", "c")]
+    out = propagate_constants(code)
+    assert out[-1].imm == 6
+
+
+def test_copy_propagation_rewrites_uses():
+    code = [ins.mov("b", "a"), ins.add("c", "b", "b")]
+    out = propagate_constants(code)
+    assert out[-1].regs == ("c", "a", "a")
+
+
+def test_copy_chain_follows_to_root():
+    code = [ins.mov("b", "a"), ins.mov("c", "b"), ins.neg("d", "c")]
+    out = propagate_constants(code)
+    assert out[-1].regs == ("d", "a")
+
+
+def test_copy_invalidated_by_source_redefinition():
+    code = [ins.mov("b", "a"), ins.li("a", 9), ins.neg("d", "b")]
+    out = propagate_constants(code)
+    # b still holds the OLD a: the use must NOT be rewritten to a
+    assert out[-1].regs == ("d", "b")
+
+
+def test_mov_of_constant_becomes_li():
+    code = [ins.li("a", 5), ins.mov("b", "a")]
+    out = propagate_constants(code)
+    assert out[-1].opcode is Opcode.LI and out[-1].imm == 5
+
+
+def test_neg_of_constant_folds():
+    code = [ins.li("a", 4), ins.neg("n", "a")]
+    out = propagate_constants(code)
+    assert out[-1].opcode is Opcode.LI and out[-1].imm == -4
+
+
+def test_load_invalidates_destination():
+    code = [ins.li("v", 3), ins.load("v", "base", 0),
+            ins.add("w", "v", "v")]
+    out = propagate_constants(code)
+    assert out[-1].opcode is Opcode.ADD  # v no longer constant
+
+
+def test_call_clears_environment():
+    code = [ins.li("a", 2), ins.call("f"), ins.add("b", "a", "a")]
+    out = propagate_constants(code)
+    assert out[-1].opcode is Opcode.ADD  # a unknown after the call
+
+
+def test_div_by_zero_not_folded():
+    code = [ins.li("a", 3), ins.li("z", 0),
+            ins.binop(Opcode.DIV, "q", "a", "z")]
+    out = propagate_constants(code)
+    assert out[-1].opcode is Opcode.DIV
+
+
+def test_shift_folding_masks_count():
+    code = [ins.li("a", 1), ins.li("s", 65),
+            ins.binop(Opcode.SHL, "r", "a", "s")]
+    out = propagate_constants(code)
+    assert out[-1].imm == 2  # 65 & 63 == 1
+
+
+def test_float_folding():
+    code = [ins.li("x", 1.5), ins.li("y", 0.5),
+            ins.binop(Opcode.FDIV, "q", "x", "y")]
+    out = propagate_constants(code)
+    assert out[-1].imm == 3.0
+
+
+def test_store_operands_rewritten_via_copies():
+    code = [ins.mov("v", "a"), ins.store("v", "base", 1)]
+    out = propagate_constants(code)
+    assert out[-1].regs == ("a", "base")
+
+
+def test_branch_operands_rewritten():
+    from repro.ir import Cond
+    code = [ins.mov("x", "a"), ins.br(Cond.EQ, "x", "x", "t", "f")]
+    out = propagate_constants(code)
+    assert out[-1].regs == ("a", "a")
+    assert out[-1].target == "t"

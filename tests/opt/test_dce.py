@@ -1,0 +1,77 @@
+"""Targeted dead-code elimination tests."""
+
+from repro.ir import instructions as ins
+from repro.ir.instructions import Opcode
+from repro.opt import ALL_REGISTERS, eliminate_dead_code
+
+
+def test_nops_always_removed():
+    code = [ins.nop(), ins.li("a", 1), ins.nop()]
+    out = eliminate_dead_code(code)
+    assert all(i.opcode is not Opcode.NOP for i in out)
+    assert len(out) == 1
+
+
+def test_shadowed_definition_removed_with_all_live():
+    code = [ins.li("a", 1), ins.li("a", 2)]
+    out = eliminate_dead_code(code, live_out=ALL_REGISTERS)
+    assert len(out) == 1
+    assert out[0].imm == 2
+
+
+def test_definition_read_before_shadowing_kept():
+    code = [ins.li("a", 1), ins.add("b", "a", "a"), ins.li("a", 2)]
+    out = eliminate_dead_code(code)
+    assert len(out) == 3
+
+
+def test_self_referencing_redefinition_kept():
+    code = [ins.li("a", 1), ins.add("a", "a", "a")]
+    out = eliminate_dead_code(code)
+    assert len(out) == 2  # the add reads a before redefining it
+
+
+def test_explicit_liveness_prunes_unobserved():
+    code = [ins.li("a", 1), ins.li("b", 2)]
+    out = eliminate_dead_code(code, live_out=["a"])
+    assert len(out) == 1
+    assert out[0].regs == ("a",)
+
+
+def test_stores_never_removed():
+    code = [ins.li("v", 1), ins.store("v", "base", 0)]
+    out = eliminate_dead_code(code, live_out=[])
+    assert any(i.opcode is Opcode.STORE for i in out)
+    # and the value feeding the store stays live
+    assert len(out) == 2
+
+
+def test_dead_load_removed_with_explicit_liveness():
+    code = [ins.load("t", "base", 0)]
+    out = eliminate_dead_code(code, live_out=[])
+    assert out == []
+
+
+def test_load_kept_when_all_registers_live():
+    code = [ins.load("t", "base", 0)]
+    assert len(eliminate_dead_code(code)) == 1
+
+
+def test_call_keeps_everything_before_it():
+    # 'a' is shadowed after the call, but the call may read it.
+    code = [ins.li("a", 1), ins.call("f"), ins.li("a", 2)]
+    out = eliminate_dead_code(code)
+    assert len(out) == 3
+
+
+def test_call_itself_always_kept():
+    out = eliminate_dead_code([ins.call("f")], live_out=[])
+    assert len(out) == 1
+
+
+def test_chain_of_dead_computation_collapses():
+    code = [ins.li("t1", 1), ins.add("t2", "t1", "t1"),
+            ins.mul("t3", "t2", "t2"), ins.li("out", 9)]
+    out = eliminate_dead_code(code, live_out=["out"])
+    assert len(out) == 1
+    assert out[0].regs == ("out",)

@@ -1,0 +1,110 @@
+"""Region-retranslation pipeline tests."""
+
+import pytest
+
+from repro.cfg import cfg_from_program
+from repro.dbt import DBTConfig, TwoPhaseDBT
+from repro.interp import Interpreter
+from repro.ir import Cond, ProgramBuilder
+from repro.opt import (MachineModel, extract_superblock,
+                       main_path_instances, mean_speedup, optimize_region,
+                       optimize_snapshot_regions)
+from repro.profiles import EdgeKind, Region, RegionKind
+
+
+def _loop_program():
+    """A hot loop whose body has foldable constants and ILP."""
+    pb = ProgramBuilder()
+    with pb.function("main") as fb:
+        (fb.block("entry")
+           .li("i", 0).li("n", 500).li("one", 1).li("acc", 0)
+           .jmp("head"))
+        (fb.block("head")
+           .li("c1", 10).li("c2", 32)
+           .mul("k", "c1", "c2")        # foldable: k = 320
+           .add("acc", "acc", "k")
+           .mul("sq", "i", "i")         # independent of acc chain
+           .add("acc", "acc", "sq")
+           .add("i", "i", "one")
+           .br(Cond.LT, "i", "n", taken="head", fall="done"))
+        fb.block("done").halt()
+    return pb.build()
+
+
+@pytest.fixture
+def optimized_snapshot():
+    program = _loop_program()
+    cfg, _ = cfg_from_program(program)
+    dbt = TwoPhaseDBT(cfg, DBTConfig(threshold=20, pool_trigger_size=1))
+    Interpreter(program, listener=dbt, step_limit=10**7).run()
+    return program, cfg, dbt.snapshot()
+
+
+def test_main_path_reaches_tail():
+    region = Region(
+        region_id=0, kind=RegionKind.LINEAR, members=[5, 6, 7, 8],
+        internal_edges=[(0, 1, EdgeKind.TAKEN), (0, 2, EdgeKind.FALL),
+                        (1, 3, EdgeKind.TAKEN), (2, 3, EdgeKind.TAKEN)],
+        tail=3)
+    path = main_path_instances(region)
+    assert path[0] == 0
+    assert path[-1] == 3
+
+
+def test_main_path_single_block():
+    region = Region(region_id=0, kind=RegionKind.LINEAR, members=[4],
+                    tail=0)
+    assert main_path_instances(region) == [0]
+
+
+def test_superblock_extraction_drops_terminators(optimized_snapshot):
+    program, cfg, snapshot = optimized_snapshot
+    region = snapshot.regions[0]
+    code = extract_superblock(program, region)
+    assert code  # non-empty body
+    assert all(not i.is_terminator for i in code)
+
+
+def test_optimizer_finds_real_gains(optimized_snapshot):
+    program, cfg, snapshot = optimized_snapshot
+    reports = optimize_snapshot_regions(program, snapshot)
+    assert reports
+    loop_report = max(reports, key=lambda r: r.original_instructions)
+    # the folded mul disappears and scheduling exploits the ILP
+    assert loop_report.optimized_instructions <= \
+        loop_report.original_instructions
+    assert loop_report.scheduled_cycles < loop_report.sequential_cycles
+    assert loop_report.speedup > 1.2
+
+
+def test_report_arithmetic(optimized_snapshot):
+    program, cfg, snapshot = optimized_snapshot
+    report = optimize_region(program, snapshot.regions[0])
+    assert report.instructions_removed == \
+        report.original_instructions - report.optimized_instructions
+    assert report.speedup == pytest.approx(
+        report.sequential_cycles / report.scheduled_cycles)
+
+
+def test_mean_speedup():
+    from repro.opt import RegionOptimizationReport
+
+    def rep(spec):
+        return RegionOptimizationReport(
+            region_id=0, original_instructions=10,
+            optimized_instructions=10, sequential_cycles=spec,
+            scheduled_cycles=10)
+
+    assert mean_speedup([]) == 1.0
+    assert mean_speedup([rep(20), rep(40)]) == pytest.approx(3.0)
+    assert mean_speedup([rep(20), rep(40)], weights=[1.0, 0.0]) == \
+        pytest.approx(2.0)
+
+
+def test_narrow_machine_limits_speedup(optimized_snapshot):
+    program, cfg, snapshot = optimized_snapshot
+    wide = optimize_region(program, snapshot.regions[0],
+                           MachineModel(width=8))
+    narrow = optimize_region(program, snapshot.regions[0],
+                             MachineModel(width=1))
+    assert wide.scheduled_cycles <= narrow.scheduled_cycles

@@ -1,0 +1,47 @@
+"""Profiling-operation accounting tests (Figure 18 machinery)."""
+
+import pytest
+
+from repro.core import run_threshold_sweep
+from repro.dbt import DBTConfig
+from repro.perfmodel import (OverheadSeries, average_normalized,
+                             overhead_series)
+from repro.stochastic import walk
+
+
+def test_normalized_series():
+    series = OverheadSeries(train_ops=1000,
+                            inip_ops={10: 5, 100: 50, 1000: 900})
+    normalized = series.normalized()
+    assert normalized == {10: 0.005, 100: 0.05, 1000: 0.9}
+
+
+def test_zero_train_ops_rejected():
+    with pytest.raises(ValueError):
+        OverheadSeries(train_ops=0, inip_ops={}).normalized()
+
+
+def test_average_normalized():
+    a = OverheadSeries(train_ops=100, inip_ops={10: 10, 20: 30})
+    b = OverheadSeries(train_ops=200, inip_ops={10: 40, 20: 100})
+    avg = average_normalized([a, b])
+    assert avg[10] == pytest.approx((0.1 + 0.2) / 2)
+    assert avg[20] == pytest.approx((0.3 + 0.5) / 2)
+
+
+def test_average_normalized_empty():
+    assert average_normalized([]) == {}
+
+
+def test_series_from_study(nested_cfg, nested_behavior):
+    ref = walk(nested_cfg, nested_behavior, 30_000, seed=1)
+    train = walk(nested_cfg, nested_behavior, 10_000, seed=2)
+    study = run_threshold_sweep("demo", nested_cfg, ref, train,
+                                thresholds=[5, 500],
+                                base_config=DBTConfig(pool_trigger_size=3))
+    series = overhead_series(study)
+    assert series.train_ops == study.train_ops
+    # tiny thresholds freeze early: far fewer ops than large ones
+    assert series.inip_ops[5] < series.inip_ops[500]
+    normalized = series.normalized()
+    assert normalized[5] < normalized[500]

@@ -1,0 +1,83 @@
+"""Continuous trip-count profiling tests."""
+
+import pytest
+
+from repro.cfg import ControlFlowGraph
+from repro.phases import (ContinuousTripCounter, compare_tripcount_predictors,
+                          extract_trips, static_report)
+from repro.phases.tripcount import TripSample
+from repro.stochastic import (NO_BRANCH, ExecutionTrace, ProgramBehavior,
+                              loopback_for_trip_count, phased, steady, walk)
+
+
+def _latch_trace(outcomes):
+    """Trace of a single self-looping latch with given outcome stream."""
+    blocks = [0] * len(outcomes)
+    return ExecutionTrace.from_sequences(blocks, outcomes, num_blocks=1)
+
+
+class TestExtractTrips:
+    def test_simple_sequences(self):
+        # two loops: 3 trips then 2 trips (taken,taken,fall | taken,fall)
+        trace = _latch_trace([1, 1, 0, 1, 0])
+        samples = extract_trips(trace, 0)
+        assert [s.trips for s in samples] == [3, 2]
+        assert samples[0].step == 0
+        assert samples[1].step == 3
+
+    def test_unterminated_final_sequence_reported(self):
+        trace = _latch_trace([1, 0, 1, 1])
+        samples = extract_trips(trace, 0)
+        assert [s.trips for s in samples] == [2, 2]
+
+    def test_unknown_latch_gives_empty(self):
+        empty = ExecutionTrace.from_sequences([], [], num_blocks=2)
+        assert extract_trips(empty, 1) == []
+
+    def test_immediate_exits(self):
+        trace = _latch_trace([0, 0, 0])
+        samples = extract_trips(trace, 0)
+        assert [s.trips for s in samples] == [1, 1, 1]
+
+
+class TestPredictors:
+    def test_static_report_uses_initial_lp(self):
+        samples = [TripSample(step=i, trips=100) for i in range(10)]
+        # initial LP says "low trip count": every sample mispredicted
+        report = static_report(samples, initial_lp=0.5)
+        assert report.accuracy == 0.0
+        # initial LP says high: all correct
+        report = static_report(samples, initial_lp=0.995)
+        assert report.accuracy == 1.0
+
+    def test_static_report_without_profile(self):
+        assert static_report([TripSample(0, 5)], None).samples == 0
+
+    def test_continuous_adapts(self):
+        # trips switch from 100 (high) to 3 (low): the EMA follows.
+        samples = [TripSample(step=i, trips=100) for i in range(20)] + \
+                  [TripSample(step=100 + i, trips=3) for i in range(60)]
+        counter = ContinuousTripCounter(alpha=0.5)
+        report = counter.evaluate(samples)
+        assert report.accuracy > 0.85
+
+    def test_continuous_alpha_validation(self):
+        with pytest.raises(ValueError):
+            ContinuousTripCounter(alpha=0.0)
+
+    def test_compare_on_phase_changing_loop(self):
+        """The Mcf scenario: loop high-trip early, low-trip later —
+        continuous monitoring beats the frozen initial profile."""
+        cfg = ControlFlowGraph([(1,), (1, 2), (1,)])  # latch 1, restart 2
+        steps = 60_000
+        behavior = ProgramBehavior()
+        behavior.set(1, phased(
+            [(0.1, loopback_for_trip_count(150.0)),
+             (0.9, loopback_for_trip_count(3.0))], total_steps=steps))
+        trace = walk(cfg, behavior, steps, seed=2)
+        # initial profile saw the high-trip phase
+        result = compare_tripcount_predictors(
+            trace, latch=1, initial_lp=loopback_for_trip_count(150.0))
+        assert result["loop_executions"] > 100
+        assert result["continuous_accuracy"] > result["static_accuracy"]
+        assert result["static_accuracy"] < 0.3

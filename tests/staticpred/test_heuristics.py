@@ -1,0 +1,139 @@
+"""Static-prediction heuristic tests."""
+
+import pytest
+
+from repro.cfg import ControlFlowGraph, cfg_from_program, find_loops
+from repro.ir import Cond, ProgramBuilder
+from repro.staticpred import (dempster_shafer, estimate_all_branches,
+                              estimate_branch)
+from repro.staticpred.heuristics import (LOOP_BRANCH_PROB,
+                                         RETURN_NOT_TAKEN,
+                                         call_heuristic,
+                                         guard_heuristic,
+                                         loop_branch_heuristic,
+                                         loop_exit_heuristic,
+                                         return_heuristic,
+                                         store_heuristic)
+
+
+@pytest.fixture
+def latch_cfg():
+    """0 -> 1(header) -> 2(latch: taken->1, fall->3 exit) ; 3 exit."""
+    return ControlFlowGraph([(1,), (2,), (1, 3), ()])
+
+
+class TestLoopHeuristics:
+    def test_back_edge_predicted_taken(self, latch_cfg):
+        loops = find_loops(latch_cfg)
+        assert loop_branch_heuristic(latch_cfg, loops, None, 2) == \
+            LOOP_BRANCH_PROB
+
+    def test_back_edge_on_fall_side(self):
+        cfg = ControlFlowGraph([(1,), (2,), (3, 1), ()])
+        loops = find_loops(cfg)
+        assert loop_branch_heuristic(cfg, loops, None, 2) == \
+            pytest.approx(1.0 - LOOP_BRANCH_PROB)
+
+    def test_abstains_outside_loops(self, diamond_cfg):
+        loops = find_loops(diamond_cfg)
+        assert loop_branch_heuristic(diamond_cfg, loops, None, 1) is None
+
+    def test_loop_exit_prefers_staying(self, nested_cfg):
+        loops = find_loops(nested_cfg)
+        # node 2: taken stays in the inner loop, fall leaves it
+        value = loop_exit_heuristic(nested_cfg, loops, None, 2)
+        assert value is not None and value > 0.5
+
+
+class TestReturnHeuristic:
+    def test_exit_successor_avoided(self, latch_cfg):
+        loops = find_loops(latch_cfg)
+        assert return_heuristic(latch_cfg, loops, None, 2) == \
+            pytest.approx(1.0 - RETURN_NOT_TAKEN)
+
+    def test_abstains_when_both_exit(self):
+        cfg = ControlFlowGraph([(1, 2), (), ()])
+        loops = find_loops(cfg)
+        assert return_heuristic(cfg, loops, None, 0) is None
+
+
+class TestIRHeuristics:
+    def _program(self):
+        pb = ProgramBuilder()
+        with pb.function("helper") as fb:
+            fb.block("entry").ret()
+        with pb.function("main") as fb:
+            (fb.block("entry")
+               .br(Cond.EQ, "a", "b", taken="with_call", fall="with_store"))
+            fb.block("with_call").call("helper").jmp("done")
+            fb.block("with_store").store("a", "b", 0).jmp("done")
+            fb.block("done").halt()
+        return pb.build()
+
+    def test_call_and_store_and_guard(self):
+        program = self._program()
+        cfg, ids = cfg_from_program(program)
+        loops = find_loops(cfg)
+        entry = program.block_ids()[("main", "entry")]
+        # taken side calls -> avoided; fall side stores -> avoided; both
+        # apply, pulling in opposite directions.
+        assert call_heuristic(cfg, loops, program, entry) is not None
+        assert store_heuristic(cfg, loops, program, entry) is not None
+        assert guard_heuristic(cfg, loops, program, entry) is not None
+
+    def test_ir_heuristics_abstain_without_program(self, latch_cfg):
+        loops = find_loops(latch_cfg)
+        assert call_heuristic(latch_cfg, loops, None, 2) is None
+        assert store_heuristic(latch_cfg, loops, None, 2) is None
+        assert guard_heuristic(latch_cfg, loops, None, 2) is None
+
+
+class TestDempsterShafer:
+    def test_empty_is_prior(self):
+        assert dempster_shafer([]) == 0.5
+
+    def test_single_estimate_passes_through(self):
+        assert dempster_shafer([0.88]) == pytest.approx(0.88)
+
+    def test_agreement_strengthens(self):
+        fused = dempster_shafer([0.8, 0.8])
+        assert fused > 0.8
+        assert fused == pytest.approx(0.64 / (0.64 + 0.04))
+
+    def test_disagreement_cancels(self):
+        assert dempster_shafer([0.8, 0.2]) == pytest.approx(0.5)
+
+    def test_order_independent(self):
+        a = dempster_shafer([0.88, 0.28, 0.66])
+        b = dempster_shafer([0.66, 0.88, 0.28])
+        assert a == pytest.approx(b)
+
+    def test_result_stays_in_unit_interval(self):
+        for estimates in ([0.99, 0.99, 0.99], [0.01, 0.01], [0.5] * 5):
+            assert 0.0 <= dempster_shafer(estimates) <= 1.0
+
+
+class TestEstimateAll:
+    def test_every_branch_estimated(self, nested_cfg):
+        loops = find_loops(nested_cfg)
+        estimates = estimate_all_branches(nested_cfg, loops)
+        assert set(estimates) == set(nested_cfg.branch_nodes())
+        for estimate in estimates.values():
+            assert 0.0 <= estimate.probability <= 1.0
+
+    def test_outer_latch_fuses_agreeing_heuristics(self, nested_cfg):
+        loops = find_loops(nested_cfg)
+        # node 7: taken exits the program, fall returns to the outer
+        # header — loop-branch, loop-exit and return heuristics all agree
+        # the branch is not taken, fusing far below any single estimate.
+        estimate = estimate_branch(nested_cfg, loops, None, 7)
+        assert estimate.probability < 1.0 - LOOP_BRANCH_PROB
+        assert "loop_branch_heuristic" in estimate.applied
+        assert "loop_exit_heuristic" in estimate.applied
+        assert "return_heuristic" in estimate.applied
+
+    def test_inner_header_uses_loop_exit(self, nested_cfg):
+        loops = find_loops(nested_cfg)
+        estimate = estimate_branch(nested_cfg, loops, None, 2)
+        assert estimate.probability == pytest.approx(0.8)
+        assert estimate.applied == ["loop_exit_heuristic"]

@@ -1,0 +1,157 @@
+"""Execution-trace structure tests."""
+
+import numpy as np
+import pytest
+
+from repro.interp import Interpreter
+from repro.stochastic import (NO_BRANCH, ExecutionTrace, TraceError,
+                              TraceRecorder)
+
+
+def _tiny_trace():
+    # blocks: 0 1 0 1 2 ; block 1 is a branch (T, F), others plain.
+    return ExecutionTrace.from_sequences(
+        blocks=[0, 1, 0, 1, 2],
+        taken=[NO_BRANCH, 1, NO_BRANCH, 0, NO_BRANCH],
+        num_blocks=3)
+
+
+def test_counts():
+    trace = _tiny_trace()
+    assert list(trace.use_counts()) == [2, 2, 1]
+    assert list(trace.taken_counts()) == [0, 1, 0]
+    assert list(trace.branch_blocks()) == [1]
+    assert trace.num_steps == len(trace) == 5
+
+
+def test_events_index():
+    trace = _tiny_trace()
+    events = trace.events()
+    assert list(events[1].steps) == [1, 3]
+    assert list(events[1].taken_prefix) == [0, 1, 1]
+    assert events[1].use == 2
+    assert events[1].taken == 1
+    assert events[0].taken == 0
+
+
+def test_events_prefix_queries():
+    trace = _tiny_trace()
+    ev = trace.events()[1]
+    assert ev.use_before(0) == 0
+    assert ev.use_before(2) == 1
+    assert ev.use_before(4) == 2
+    assert ev.taken_before(1) == 0
+    assert ev.taken_before(2) == 1
+    assert ev.taken_before(4) == 1
+    assert ev.step_of_use(1) == 1
+    assert ev.step_of_use(2) == 3
+    assert ev.step_of_use(3) is None
+    assert ev.step_of_use(0) is None
+
+
+def test_edge_counts():
+    trace = _tiny_trace()
+    edges = trace.edge_counts()
+    assert edges[(0, 1)] == 2
+    assert edges[(1, 0)] == 1
+    assert edges[(1, 2)] == 1
+
+
+def test_empty_trace():
+    trace = ExecutionTrace.from_sequences([], [], num_blocks=4)
+    assert trace.num_steps == 0
+    assert trace.edge_counts() == {}
+    assert list(trace.use_counts()) == [0, 0, 0, 0]
+
+
+def test_validation():
+    with pytest.raises(TraceError):
+        ExecutionTrace.from_sequences([0, 5], [NO_BRANCH, NO_BRANCH],
+                                      num_blocks=3)
+    with pytest.raises(TraceError):
+        ExecutionTrace(np.zeros(3, np.int32), np.zeros(2, np.int8), 1)
+
+
+def test_save_load_roundtrip(tmp_path):
+    trace = _tiny_trace()
+    path = str(tmp_path / "trace.npz")
+    trace.save(path)
+    loaded = ExecutionTrace.load(path)
+    assert np.array_equal(loaded.blocks, trace.blocks)
+    assert np.array_equal(loaded.taken, trace.taken)
+    assert loaded.num_blocks == trace.num_blocks
+
+
+def test_load_missing_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        ExecutionTrace.load(str(tmp_path / "nope.npz"))
+
+
+def test_recorder_matches_interpreter_counts(loop_program):
+    recorder = TraceRecorder(loop_program.num_blocks())
+    interp = Interpreter(loop_program, listener=recorder)
+    result = interp.run()
+    trace = recorder.trace()
+    assert trace.num_steps == result.blocks_executed
+    loop_id = interp.block_id("main", "loop")
+    assert trace.use_counts()[loop_id] == 5
+    assert trace.taken_counts()[loop_id] == 4
+
+
+def test_use_counts_match_event_index(nested_trace):
+    use = nested_trace.use_counts()
+    events = nested_trace.events()
+    for block, ev in events.items():
+        assert use[block] == ev.use
+    assert use.sum() == nested_trace.num_steps
+
+
+class TestValidateAgainstCFG:
+    def _cfg(self):
+        from repro.cfg import ControlFlowGraph
+        return ControlFlowGraph([(1,), (1, 2), ()])
+
+    def test_legal_trace_passes(self):
+        from repro.stochastic import walk, ProgramBehavior, steady
+        cfg = self._cfg()
+        behavior = ProgramBehavior()
+        behavior.set(1, steady(0.9))
+        trace = walk(cfg, behavior, 500, seed=1)
+        trace.validate_against_cfg(cfg)  # no exception
+
+    def test_block_count_mismatch(self):
+        trace = ExecutionTrace.from_sequences([0], [NO_BRANCH],
+                                              num_blocks=5)
+        with pytest.raises(TraceError, match="blocks"):
+            trace.validate_against_cfg(self._cfg())
+
+    def test_illegal_transition(self):
+        # 0 must fall through to 1, not jump to 2... encode 0 -> 2
+        trace = ExecutionTrace.from_sequences(
+            [0, 2], [NO_BRANCH, NO_BRANCH], num_blocks=3)
+        with pytest.raises(TraceError, match="fall through"):
+            trace.validate_against_cfg(self._cfg())
+
+    def test_wrong_branch_direction(self):
+        # branch 1 taken must go to 1 (self), recorded going to 2
+        trace = ExecutionTrace.from_sequences(
+            [0, 1, 2], [NO_BRANCH, 1, NO_BRANCH], num_blocks=3)
+        with pytest.raises(TraceError, match="outcome"):
+            trace.validate_against_cfg(self._cfg())
+
+    def test_missing_branch_outcome(self):
+        trace = ExecutionTrace.from_sequences(
+            [0, 1], [NO_BRANCH, NO_BRANCH], num_blocks=3)
+        with pytest.raises(TraceError, match="without an"):
+            trace.validate_against_cfg(self._cfg())
+
+    def test_spurious_outcome_on_plain_block(self):
+        trace = ExecutionTrace.from_sequences([0], [1], num_blocks=3)
+        with pytest.raises(TraceError, match="non-branch"):
+            trace.validate_against_cfg(self._cfg())
+
+    def test_exit_must_be_last(self):
+        trace = ExecutionTrace.from_sequences(
+            [2, 0], [NO_BRANCH, NO_BRANCH], num_blocks=3)
+        with pytest.raises(TraceError, match="exit"):
+            trace.validate_against_cfg(self._cfg())

@@ -1,0 +1,100 @@
+"""Character-realisation tests."""
+
+import pytest
+
+from repro.stochastic import steady
+from repro.workloads import (BranchSpec, Character, CharacterConfig,
+                             DRIVER_ROLE, LoopSegment, BranchySegment,
+                             build_workload, realize_character, trips)
+from repro.workloads.characters import clamp_to_range, jitter, jitter_trips
+import random
+
+
+@pytest.fixture
+def workload():
+    return build_workload([
+        LoopSegment("loop", diamonds=1, chain=1),
+        BranchySegment("br", diamonds=2),
+    ], seed=1)
+
+
+def test_driver_always_loops(workload):
+    ref, train = realize_character(workload, Character(), total_steps=1000)
+    driver = workload.branch_roles[DRIVER_ROLE]
+    assert ref.behavior_of(driver).steady_p == 1.0
+    assert train.behavior_of(driver).steady_p == 1.0
+
+
+def test_explicit_specs_win(workload):
+    character = Character(specs={
+        "br.d0": BranchSpec(ref=0.9, train=0.1),
+        "loop": BranchSpec(ref=trips(20.0)),
+    })
+    ref, train = realize_character(workload, character, total_steps=1000)
+    node = workload.branch_roles["br.d0"]
+    assert ref.behavior_of(node).steady_p == 0.9
+    assert train.behavior_of(node).steady_p == 0.1
+    latch = workload.branch_roles["loop"]
+    assert ref.behavior_of(latch).steady_p == pytest.approx(0.95)
+
+
+def test_unknown_spec_role_raises(workload):
+    character = Character(specs={"nope": BranchSpec(ref=0.5)})
+    with pytest.raises(ValueError, match="unknown roles"):
+        realize_character(workload, character, total_steps=1000)
+
+
+def test_every_branch_gets_behaviors(workload):
+    ref, train = realize_character(workload, Character(), total_steps=1000)
+    for role, node in workload.branch_roles.items():
+        assert node in ref.branches
+        assert node in train.branches
+
+
+def test_deterministic_for_seed(workload):
+    config = CharacterConfig(seed=42, warmup_fraction=0.5)
+    a_ref, a_train = realize_character(workload, Character(config), 1000)
+    b_ref, b_train = realize_character(workload, Character(config), 1000)
+    for node in a_ref.branches:
+        assert a_ref.branches[node] == b_ref.branches[node]
+        assert a_train.branches[node] == b_train.branches[node]
+
+
+def test_default_train_never_crosses_range(workload):
+    """Default train divergence stays within the ref range (the paper's
+    range-crossing train divergence is opt-in per benchmark)."""
+    from repro.core import bp_range
+    config = CharacterConfig(seed=7, train_jitter_bp=0.3)  # huge jitter
+    ref, train = realize_character(workload, Character(config), 1000)
+    driver = workload.branch_roles[DRIVER_ROLE]
+    latches = {info.latch for info in workload.loops.values()}
+    for node in ref.branches:
+        if node == driver or node in latches:
+            continue
+        assert bp_range(ref.behavior_of(node).steady_p) is \
+            bp_range(train.behavior_of(node).steady_p)
+
+
+class TestHelpers:
+    def test_clamp_to_range(self):
+        assert clamp_to_range(0.9, reference=0.5) == 0.695
+        assert clamp_to_range(0.1, reference=0.5) == 0.305
+        assert clamp_to_range(0.5, reference=0.9) == 0.705
+        assert clamp_to_range(0.99, reference=0.9) == 0.98
+        assert clamp_to_range(0.4, reference=0.1) == 0.295
+        # value already inside: unchanged
+        assert clamp_to_range(0.6, reference=0.5) == 0.6
+
+    def test_jitter_stays_in_bounds(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            assert 0.02 <= jitter(0.5, 0.5, rng) <= 0.98
+
+    def test_jitter_trips_positive(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            assert jitter_trips(10.0, 0.5, rng) >= 1.05
+
+    def test_trips_helper(self):
+        assert trips(1.0) == 0.0
+        assert trips(10.0) == pytest.approx(0.9)

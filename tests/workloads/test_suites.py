@@ -1,0 +1,103 @@
+"""Every suite benchmark must build, validate and show its character.
+
+The trace-based tests run at sharply reduced lengths so the whole module
+stays fast; the characteristic assertions are scale-free.
+"""
+
+import pytest
+
+from repro.cfg import reachable
+from repro.core import bp_range, compare_flat_profiles
+from repro.profiles import avep_from_trace
+from repro.workloads import all_benchmarks, get_benchmark
+
+ALL_NAMES = [b.name for b in all_benchmarks()]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_benchmark_builds_and_realizes(name):
+    bench = get_benchmark(name)
+    assert bench.num_blocks if hasattr(bench, "num_blocks") else True
+    assert bench.workload.num_blocks > 10
+    assert reachable(bench.cfg) == set(range(bench.workload.num_blocks))
+    ref, train = bench.behaviors()
+    for node in bench.workload.branch_roles.values():
+        assert node in ref.branches and node in train.branches
+    assert len(bench.loop_forest()) >= 2  # driver + at least one loop
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_short_trace_runs(name):
+    bench = get_benchmark(name)
+    bench.run_steps = 5_000
+    trace = bench.trace("ref")
+    assert trace.num_steps == 5_000
+    # every executed edge follows the CFG
+    use = trace.use_counts()
+    assert use.sum() == 5_000
+
+
+def test_fp_benchmarks_are_loop_dominated():
+    bench = get_benchmark("swim")
+    bench.run_steps = 30_000
+    trace = bench.trace("ref")
+    latches = [info.latch for info in bench.workload.loops.values()]
+    use = trace.use_counts()
+    latch_share = sum(use[latch] for latch in latches) / use.sum()
+    assert latch_share > 0.10  # latches execute constantly
+
+
+def test_perlbmk_training_input_is_terrible():
+    bench = get_benchmark("perlbmk")
+    bench.run_steps = 60_000
+    bench.train_steps = 30_000
+    avep = avep_from_trace(bench.trace("ref"))
+    train = avep_from_trace(bench.trace("train"), input_name="train")
+    result = compare_flat_profiles(bench.cfg, train, avep)
+    assert result.bp_mismatch > 0.35
+    assert result.sd_bp > 0.3
+
+
+def test_swim_training_input_is_fine():
+    bench = get_benchmark("swim")
+    bench.run_steps = 60_000
+    bench.train_steps = 30_000
+    avep = avep_from_trace(bench.trace("ref"))
+    train = avep_from_trace(bench.trace("train"), input_name="train")
+    result = compare_flat_profiles(bench.cfg, train, avep)
+    assert result.bp_mismatch < 0.05
+
+
+def test_mcf_has_phase_behavior():
+    """Mcf's hot branch probabilities differ early-run vs whole-run."""
+    bench = get_benchmark("mcf")
+    ref, _ = bench.behaviors()
+    changed = [b for b in ref.branches.values() if len(b.phases) > 1]
+    assert len(changed) >= 4
+
+
+def test_gzip_has_warmup():
+    bench = get_benchmark("gzip")
+    ref, _ = bench.behaviors()
+    warmups = [b for b in ref.branches.values() if b.warmup_uses > 0]
+    assert warmups
+    node = bench.workload.branch_roles["scan.d0"]
+    behavior = ref.behavior_of(node)
+    # early behaviour sits in a different range from steady state
+    assert bp_range(behavior.warmup_p) is not bp_range(behavior.steady_p)
+
+
+def test_wupwise_warmup_is_very_long():
+    bench = get_benchmark("wupwise")
+    ref, _ = bench.behaviors()
+    node = bench.workload.branch_roles["su3.inner.d0"]
+    assert ref.behavior_of(node).warmup_uses == 100_000
+
+
+def test_lucas_train_flips_trip_class():
+    from repro.core import lp_class
+    bench = get_benchmark("lucas")
+    ref, train = bench.behaviors()
+    latch = bench.workload.branch_roles["fft_sweep"]
+    assert lp_class(ref.behavior_of(latch).steady_p) is not \
+        lp_class(train.behavior_of(latch).steady_p)
