@@ -20,6 +20,8 @@ Layer map (bottom to top):
 * :mod:`repro.perfmodel` — the §4.4 cost model and §4.5 overhead counts.
 * :mod:`repro.phases` — phase-awareness extensions from the paper's
   future-work section.
+* :mod:`repro.obs` — the observability substrate: metrics registry,
+  span timers (Chrome-trace export), structured logging, run manifests.
 * :mod:`repro.harness` — full-suite runs and figure regeneration.
 
 Quickstart::

@@ -19,6 +19,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..cfg.graph import ControlFlowGraph
 from ..cfg.loops import LoopForest, find_loops
+from ..obs.registry import inc
+from ..obs.spans import span
 from ..profiles.model import BlockProfile, ProfileSnapshot, Region
 from ..stochastic.trace import ExecutionTrace
 from .config import DBTConfig
@@ -84,31 +86,42 @@ class ReplayDBT:
         pool = CandidatePool(self.config)
         events = self._events
 
-        # Heap of (trace position, block, registration ordinal k): the
-        # position of each block's (k*T)-th execution.  Scheduled lazily so
-        # tiny thresholds don't enqueue every step up front.
-        heap: List[Tuple[int, int, int]] = []
-        for block, ev in events.items():
-            pos = ev.step_of_use(threshold)
-            if pos is not None:
-                heap.append((pos, block, 1))
-        heapq.heapify(heap)
+        with span("replay.run", threshold=threshold):
+            # Heap of (trace position, block, registration ordinal k): the
+            # position of each block's (k*T)-th execution.  Scheduled
+            # lazily so tiny thresholds don't enqueue every step up front.
+            heap: List[Tuple[int, int, int]] = []
+            for block, ev in events.items():
+                pos = ev.step_of_use(threshold)
+                if pos is not None:
+                    heap.append((pos, block, 1))
+            heapq.heapify(heap)
 
-        while heap:
-            pos, block, k = heapq.heappop(heap)
-            if block in self.freeze_step:
-                continue  # counting stopped before this occurrence
-            trigger = pool.register(block)
-            if trigger:
-                self._optimize(pool, now=pos + 1)
-            if block not in self.freeze_step:
-                nxt = events[block].step_of_use((k + 1) * threshold)
-                if nxt is not None:
-                    heapq.heappush(heap, (nxt, block, k + 1))
+            while heap:
+                pos, block, k = heapq.heappop(heap)
+                if block in self.freeze_step:
+                    continue  # counting stopped before this occurrence
+                trigger = pool.register(block)
+                if trigger:
+                    self._optimize(pool, now=pos + 1)
+                if block not in self.freeze_step:
+                    nxt = events[block].step_of_use((k + 1) * threshold)
+                    if nxt is not None:
+                        heapq.heappush(heap, (nxt, block, k + 1))
+        # Every block seen in the trace got a quick translation; the
+        # optimised set was retranslated into regions.
+        inc("replay.runs")
+        inc("replay.blocks_translated", len(events))
+        inc("replay.retranslations", len(self.optimized))
+        inc("replay.regions_formed", len(self.regions))
+        inc("replay.optimization_events", len(self.optimization_events))
         return self
 
     def _optimize(self, pool: CandidatePool, now: int) -> None:
-        pool_blocks = [b for b in pool.drain() if b not in self.optimized]
+        drained = pool.drain()
+        pool_blocks = [b for b in drained if b not in self.optimized]
+        if len(pool_blocks) != len(drained):
+            inc("pool.evictions", len(drained) - len(pool_blocks))
         if not pool_blocks:
             return
         result = self.former.form(

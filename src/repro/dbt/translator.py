@@ -15,6 +15,7 @@ from typing import List, Optional, Set
 
 from ..cfg.graph import ControlFlowGraph
 from ..cfg.loops import LoopForest, find_loops
+from ..obs.registry import inc
 from ..profiles.model import ProfileSnapshot, Region
 from .config import DBTConfig
 from .counters import CounterTable
@@ -65,6 +66,8 @@ class TwoPhaseDBT:
         """One block execution: count, maybe register, maybe optimise."""
         self.step += 1
         use = self.counters.count_use(block_id)
+        if use == 1:
+            inc("translator.blocks_translated")
         if use and use % self.config.threshold == 0:
             if self.pool.register(block_id):
                 # Optimise only after this execution's branch outcome (if
@@ -84,8 +87,10 @@ class TwoPhaseDBT:
 
     def _run_optimization(self) -> None:
         self._pending_optimize = False
-        pool_blocks = [b for b in self.pool.drain()
-                       if b not in self.optimized]
+        drained = self.pool.drain()
+        pool_blocks = [b for b in drained if b not in self.optimized]
+        if len(pool_blocks) != len(drained):
+            inc("pool.evictions", len(drained) - len(pool_blocks))
         if not pool_blocks:
             return
         result: FormationResult = self.former.form(
@@ -104,6 +109,9 @@ class TwoPhaseDBT:
         self.optimized.update(result.newly_optimized)
         self.optimization_events.append(
             (self.step, sorted(result.newly_optimized)))
+        inc("translator.optimization_events")
+        inc("translator.regions_formed", len(result.regions))
+        inc("translator.retranslations", len(result.newly_optimized))
 
     # -- output ------------------------------------------------------------------
 

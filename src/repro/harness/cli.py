@@ -6,6 +6,8 @@ Examples::
     python -m repro.harness.cli --figures 8 17  # just Figures 8 and 17
     python -m repro.harness.cli --quick         # 10% run lengths (smoke)
     python -m repro.harness.cli --benchmarks gzip mcf --no-perf
+    python -m repro.harness.cli --quick --stats # run manifest, no figures
+    python -m repro.harness.cli --metrics-out m.json --trace-out t.json
 """
 
 from __future__ import annotations
@@ -14,6 +16,8 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..obs import configure as configure_logging
+from ..obs import render_manifest, write_metrics, write_trace
 from ..workloads.spec import SIM_THRESHOLDS, benchmark_names
 from .figures import FIGURES
 from .paper_example import compute_example
@@ -48,18 +52,50 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write each printed figure as CSV "
                              "into DIR")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the run manifest (fingerprint, "
+                             "timings, metrics); figures are skipped "
+                             "unless --figures is given explicitly")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the metrics registry snapshot as "
+                             "JSON to PATH")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write the span timeline as Chrome trace "
+                             "JSON to PATH (open in chrome://tracing "
+                             "or ui.perfetto.dev)")
+    parser.add_argument("--log-level", default=None,
+                        choices=["debug", "info", "warning", "error"],
+                        help="structured-log level (default: warning; "
+                             "--verbose implies info)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit structured logs as JSON lines")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Run the study and print the requested figures."""
+    """Run the study, print the requested output, export observability."""
     args = build_parser().parse_args(argv)
+    if args.log_level or args.log_json:
+        configure_logging(level=args.log_level or "info",
+                          json_mode=args.log_json)
+    code = _dispatch(args)
+    if args.metrics_out:
+        write_metrics(args.metrics_out)
+    if args.trace_out:
+        write_trace(args.trace_out)
+    return code
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.summary is not None:
         return print_summary(args.summary,
                              steps_scale=0.1 if args.quick else 1.0,
                              include_perf=not args.no_perf,
                              use_cache=not args.no_cache)
-    wanted = args.figures if args.figures else sorted(FIGURES) + [5]
+    if args.figures:
+        wanted = args.figures
+    else:
+        wanted = [] if args.stats else sorted(FIGURES) + [5]
 
     if args.benchmarks:
         unknown = set(args.benchmarks) - set(benchmark_names())
@@ -75,7 +111,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  Sd.LP = {example.sd_lp:.2f}")
         print()
         wanted = [n for n in wanted if n != 5]
-    if not wanted:
+    if not wanted and not args.stats:
         return 0
 
     cache_dir = None if args.no_cache else DEFAULT_CACHE_DIR
@@ -103,8 +139,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             path = os.path.join(args.csv, f"fig{number:02d}.csv")
             with open(path, "w") as f:
                 f.write(to_csv(table))
+    if args.stats:
+        print(render_manifest(results.manifest))
     return 0
-
 
 
 def print_summary(name: str, steps_scale: float = 1.0,

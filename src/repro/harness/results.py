@@ -13,7 +13,7 @@ import os
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
-_FORMAT_VERSION = 4
+_FORMAT_VERSION = 5
 
 
 @dataclass
@@ -66,9 +66,18 @@ class BenchmarkResult:
 
 @dataclass
 class StudyResults:
-    """The whole suite's results."""
+    """The whole suite's results.
+
+    Attributes:
+        benchmarks: per-benchmark distilled numbers, keyed by name.
+        manifest: the run manifest the harness attached (config
+            fingerprint, timings, metric snapshot — see
+            :func:`repro.obs.build_manifest`); ``None`` for results
+            assembled by hand.
+    """
 
     benchmarks: Dict[str, BenchmarkResult] = field(default_factory=dict)
+    manifest: Optional[Dict] = None
 
     def names(self, suite: Optional[str] = None) -> List[str]:
         """Benchmark names, optionally filtered by suite."""
@@ -86,6 +95,7 @@ class StudyResults:
         os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
         payload = {
             "version": _FORMAT_VERSION,
+            "manifest": self.manifest,
             "benchmarks": {name: _result_to_dict(result)
                            for name, result in self.benchmarks.items()},
         }
@@ -99,7 +109,7 @@ class StudyResults:
             payload = json.load(f)
         if payload.get("version") != _FORMAT_VERSION:
             raise ValueError("stale results file (format version mismatch)")
-        results = cls()
+        results = cls(manifest=payload.get("manifest"))
         for name, data in payload["benchmarks"].items():
             results.benchmarks[name] = _result_from_dict(data)
         return results

@@ -5,6 +5,11 @@ thresholds with the replay DBT, runs the §2 comparisons and the §4.4/§4.5
 models, and returns a :class:`~repro.harness.results.StudyResults`.  The
 result is cached on disk (keyed by a configuration fingerprint) so the
 eleven figure benchmarks and the CLI share one computation.
+
+Every run is instrumented through :mod:`repro.obs`: per-benchmark and
+per-stage spans, cache hit/miss/stale counters, and a run manifest
+(fingerprint, timings, metric snapshot) attached to the results and
+persisted with the cache.
 """
 
 from __future__ import annotations
@@ -13,12 +18,16 @@ import hashlib
 import json
 import os
 import time
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 from ..core.study import run_threshold_sweep
 from ..dbt.codecache import translation_map_from_replay
 from ..dbt.config import DBTConfig
 from ..dbt.replay import ReplayDBT
+from ..obs import log as obslog
+from ..obs.manifest import build_manifest
+from ..obs.registry import inc, observe
+from ..obs.spans import span
 from ..perfmodel.costs import DEFAULT_COSTS, CostModel
 from ..perfmodel.execution import estimate_cost
 from ..workloads.spec import (BASE_THRESHOLD, SIM_THRESHOLDS,
@@ -29,6 +38,8 @@ from .results import BenchmarkResult, PerfPoint, StudyResults
 #: Default on-disk cache location (project-relative).
 DEFAULT_CACHE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                  "..", "..", "..", ".cache")
+
+_log = obslog.get_logger("repro.harness.runner")
 
 
 def _fingerprint(names: Sequence[str], thresholds: Sequence[int],
@@ -54,7 +65,7 @@ def study_benchmark(benchmark: SyntheticBenchmark,
     """Run the complete study for one benchmark and distil the numbers.
 
     Args:
-        benchmark: the workload.
+        benchmark: the workload (never mutated; scaling works on a copy).
         thresholds: simulator thresholds to sweep.
         config: DBT knobs (threshold overridden per sweep point).
         costs: the Figure 17 cost calibration.
@@ -64,62 +75,86 @@ def study_benchmark(benchmark: SyntheticBenchmark,
     """
     config = config or DBTConfig()
     if steps_scale != 1.0:
-        benchmark.run_steps = max(int(benchmark.run_steps * steps_scale),
-                                  20_000)
-        benchmark.train_steps = max(
-            int((benchmark.train_steps or benchmark.run_steps // 3) *
-                steps_scale), 10_000)
+        benchmark = benchmark.scaled(steps_scale)
 
-    ref_trace = benchmark.trace("ref")
-    train_trace = benchmark.trace("train")
-    loops = benchmark.loop_forest()
-    study = run_threshold_sweep(
-        benchmark.name, benchmark.cfg, ref_trace, train_trace, thresholds,
-        base_config=config, loops=loops)
+    with span("study_benchmark", bench=benchmark.name):
+        with span("record_traces", bench=benchmark.name):
+            ref_trace = benchmark.trace("ref")
+            train_trace = benchmark.trace("train")
+        loops = benchmark.loop_forest()
+        with span("threshold_sweep", bench=benchmark.name,
+                  thresholds=len(thresholds)):
+            study = run_threshold_sweep(
+                benchmark.name, benchmark.cfg, ref_trace, train_trace,
+                thresholds, base_config=config, loops=loops)
 
-    result = BenchmarkResult(
-        name=benchmark.name, suite=benchmark.suite,
-        thresholds=sorted(thresholds),
-        sd_bp={}, bp_mismatch={}, sd_cp={}, sd_lp={}, lp_mismatch={},
-        train_sd_bp=study.train_comparison.sd_bp,
-        train_bp_mismatch=study.train_comparison.bp_mismatch,
-        train_sd_cp=study.train_region_comparison.sd_cp,
-        train_sd_lp=study.train_region_comparison.sd_lp,
-        profiling_ops={}, train_ops=study.train_ops,
-        avep_ops=study.avep.profiling_ops)
+        result = BenchmarkResult(
+            name=benchmark.name, suite=benchmark.suite,
+            thresholds=sorted(thresholds),
+            sd_bp={}, bp_mismatch={}, sd_cp={}, sd_lp={}, lp_mismatch={},
+            train_sd_bp=study.train_comparison.sd_bp,
+            train_bp_mismatch=study.train_comparison.bp_mismatch,
+            train_sd_cp=study.train_region_comparison.sd_cp,
+            train_sd_lp=study.train_region_comparison.sd_lp,
+            profiling_ops={}, train_ops=study.train_ops,
+            avep_ops=study.avep.profiling_ops)
 
-    for t in study.thresholds:
-        outcome = study.outcomes[t]
-        comparison = outcome.comparison
-        result.sd_bp[t] = comparison.sd_bp
-        result.bp_mismatch[t] = comparison.bp_mismatch
-        result.sd_cp[t] = comparison.sd_cp
-        result.sd_lp[t] = comparison.sd_lp
-        result.lp_mismatch[t] = comparison.lp_mismatch
-        result.profiling_ops[t] = outcome.profiling_ops
-        result.num_regions[t] = outcome.num_regions
+        for t in study.thresholds:
+            outcome = study.outcomes[t]
+            comparison = outcome.comparison
+            result.sd_bp[t] = comparison.sd_bp
+            result.bp_mismatch[t] = comparison.bp_mismatch
+            result.sd_cp[t] = comparison.sd_cp
+            result.sd_lp[t] = comparison.sd_lp
+            result.lp_mismatch[t] = comparison.lp_mismatch
+            result.profiling_ops[t] = outcome.profiling_ops
+            result.num_regions[t] = outcome.num_regions
 
-    if include_perf:
-        sizes = benchmark.workload.sizes
-        perf_thresholds = sorted(set(thresholds) | {BASE_THRESHOLD})
-        for t in perf_thresholds:
-            if t in study.outcomes:
-                replay = study.outcomes[t].replay
-            else:
-                replay = ReplayDBT(ref_trace, benchmark.cfg,
-                                   config.with_threshold(t), loops=loops)
-                replay.run()
-            tmap = translation_map_from_replay(replay)
-            breakdown = estimate_cost(ref_trace, tmap, sizes, costs)
-            result.perf[t] = PerfPoint(
-                total=breakdown.total,
-                unoptimized=breakdown.unoptimized,
-                optimized=breakdown.optimized,
-                side_exits=breakdown.side_exits,
-                translation=breakdown.translation,
-                num_side_exits=breakdown.num_side_exits,
-                optimized_fraction=breakdown.optimized_fraction)
+        if include_perf:
+            with span("perf_model", bench=benchmark.name):
+                sizes = benchmark.workload.sizes
+                perf_thresholds = sorted(set(thresholds) | {BASE_THRESHOLD})
+                for t in perf_thresholds:
+                    if t in study.outcomes:
+                        replay = study.outcomes[t].replay
+                    else:
+                        replay = ReplayDBT(ref_trace, benchmark.cfg,
+                                           config.with_threshold(t),
+                                           loops=loops)
+                        replay.run()
+                    tmap = translation_map_from_replay(replay)
+                    breakdown = estimate_cost(ref_trace, tmap, sizes, costs)
+                    result.perf[t] = PerfPoint(
+                        total=breakdown.total,
+                        unoptimized=breakdown.unoptimized,
+                        optimized=breakdown.optimized,
+                        side_exits=breakdown.side_exits,
+                        translation=breakdown.translation,
+                        num_side_exits=breakdown.num_side_exits,
+                        optimized_fraction=breakdown.optimized_fraction)
     return result
+
+
+def _load_cached(cache_path: str, key: str) -> Optional[StudyResults]:
+    """Try the disk cache; count hits, misses and stale files."""
+    if not os.path.exists(cache_path):
+        inc("cache.miss")
+        _log.info("results cache miss", path=cache_path, fingerprint=key)
+        return None
+    try:
+        results = StudyResults.load(cache_path)
+    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        # A stale or corrupt cache file is recomputed, but never silently:
+        # it usually means the results format moved under an old cache.
+        inc("cache.stale")
+        inc("cache.miss")
+        _log.warning("stale results cache, recomputing", path=cache_path,
+                     fingerprint=key,
+                     error=f"{exc.__class__.__name__}: {exc}")
+        return None
+    inc("cache.hit")
+    _log.info("results cache hit", path=cache_path, fingerprint=key)
+    return results
 
 
 def run_full_study(names: Optional[Iterable[str]] = None,
@@ -135,33 +170,50 @@ def run_full_study(names: Optional[Iterable[str]] = None,
     With the default arguments this reproduces every figure's raw data for
     the whole 26-benchmark suite — a few minutes of simulation on first
     run, instant afterwards thanks to the JSON cache.
+
+    ``verbose=True`` emits per-benchmark progress through the structured
+    logger (auto-configured at info level if :func:`repro.obs.configure`
+    has not been called yet).
     """
     config = config or DBTConfig()
     if names is None:
         names = [b.name for b in all_benchmarks()]
     names = list(names)
 
+    if verbose and not obslog.is_configured():
+        obslog.configure(level="info")
+
+    key = _fingerprint(names, thresholds, config, costs, steps_scale,
+                       include_perf)
     cache_path = None
     if cache_dir is not None:
-        key = _fingerprint(names, thresholds, config, costs, steps_scale,
-                           include_perf)
         cache_path = os.path.join(cache_dir, f"study-{key}.json")
-        if os.path.exists(cache_path):
-            try:
-                return StudyResults.load(cache_path)
-            except (ValueError, KeyError, json.JSONDecodeError):
-                pass  # stale format: recompute
+        cached = _load_cached(cache_path, key)
+        if cached is not None:
+            return cached
 
     results = StudyResults()
-    for name in names:
-        started = time.time()
-        benchmark = get_benchmark(name)
-        results.benchmarks[name] = study_benchmark(
-            benchmark, thresholds, config=config, costs=costs,
-            steps_scale=steps_scale, include_perf=include_perf)
-        if verbose:
-            print(f"  {name:10s} done in {time.time() - started:5.1f}s")
+    timings: Dict[str, float] = {}
+    study_started = time.perf_counter()
+    with span("full_study", benchmarks=len(names), fingerprint=key):
+        for name in names:
+            started = time.perf_counter()
+            benchmark = get_benchmark(name)
+            results.benchmarks[name] = study_benchmark(
+                benchmark, thresholds, config=config, costs=costs,
+                steps_scale=steps_scale, include_perf=include_perf)
+            elapsed = time.perf_counter() - started
+            timings[name] = round(elapsed, 3)
+            observe("study.benchmark_seconds", elapsed)
+            _log.info("benchmark done", bench=name,
+                      seconds=round(elapsed, 1))
+    total = time.perf_counter() - study_started
 
+    results.manifest = build_manifest(
+        fingerprint=key, names=names, thresholds=thresholds, config=config,
+        steps_scale=steps_scale, include_perf=include_perf,
+        timings=timings, total_seconds=round(total, 3))
     if cache_path is not None:
         results.save(cache_path)
+        _log.info("results cached", path=cache_path, fingerprint=key)
     return results

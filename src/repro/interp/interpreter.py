@@ -19,6 +19,7 @@ from typing import Dict, Optional, Tuple
 from ..ir.errors import ExecutionError
 from ..ir.instructions import Cond, Opcode
 from ..ir.program import BlockRef, Program
+from ..obs.registry import inc
 from .events import ExecutionListener, NullListener
 from .machine import Frame, MachineState
 
@@ -77,6 +78,7 @@ class Interpreter:
         instr_index = 0
         steps = 0
         blocks_executed = 0
+        branches_resolved = 0
         halted = False
 
         listener.on_block(self._block_ids[BlockRef(fn_name, block.label)])
@@ -186,6 +188,7 @@ class Interpreter:
                                             state.read(instr.regs[1]))
                 bid = self._block_ids[BlockRef(fn_name, block.label)]
                 listener.on_branch(bid, taken)
+                branches_resolved += 1
                 target = instr.target if taken else instr.fallthrough
                 block = program.functions[fn_name].blocks[target]
                 instr_index = 0
@@ -216,6 +219,10 @@ class Interpreter:
 
             instr_index += 1
 
+        inc("interp.runs")
+        inc("interp.steps", steps)
+        inc("interp.blocks_executed", blocks_executed)
+        inc("interp.events_emitted", blocks_executed + branches_resolved)
         return RunResult(steps=steps, blocks_executed=blocks_executed,
                          halted=halted)
 

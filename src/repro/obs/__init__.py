@@ -1,0 +1,40 @@
+"""Observability substrate: metrics, spans, structured logging, manifests.
+
+Every layer of the pipeline reports into this package:
+
+* :mod:`repro.obs.registry` — process-global metrics registry
+  (counters, gauges, histograms with percentile summaries) behind a
+  no-op fast path when observability is disabled.
+* :mod:`repro.obs.spans` — nestable ``with span("name", **attrs)``
+  timers, exported as Chrome-trace-compatible JSON (load the file in
+  ``chrome://tracing`` or https://ui.perfetto.dev).
+* :mod:`repro.obs.log` — a structured logger with one
+  :func:`configure` entry point (text or JSON lines).
+* :mod:`repro.obs.manifest` — run manifests: config fingerprint,
+  per-benchmark timings and a metric snapshot, persisted alongside
+  :class:`~repro.harness.results.StudyResults` and rendered by
+  ``repro-study --stats``.
+
+Instrumentation sites aggregate outside hot loops (a handful of
+increments per DBT run, never per simulated step), so the substrate
+costs nothing measurable whether enabled or not; :func:`disable`
+additionally short-circuits every entry point to a no-op.
+"""
+
+from .log import StructuredLogger, configure, get_logger
+from .manifest import build_manifest, render_manifest
+from .registry import (Counter, Gauge, Histogram, MetricsRegistry,
+                       counter_value, disable, enable, enabled,
+                       get_registry, inc, metrics_snapshot, observe,
+                       reset_metrics, set_gauge, write_metrics)
+from .spans import (clear_trace, current_span, span, trace_events,
+                    write_trace)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "StructuredLogger", "build_manifest", "clear_trace", "configure",
+    "counter_value", "current_span", "disable", "enable", "enabled",
+    "get_logger", "get_registry", "inc", "metrics_snapshot", "observe",
+    "render_manifest", "reset_metrics", "set_gauge", "span",
+    "trace_events", "write_metrics", "write_trace",
+]

@@ -1,0 +1,131 @@
+"""Structured logging: one configure() entry point, key=value events.
+
+Loggers emit *events* with structured fields rather than interpolated
+strings::
+
+    log = get_logger("repro.harness.runner")
+    log.info("benchmark done", bench="gzip", seconds=3.1)
+
+Text mode renders ``2026-08-05T12:00:01 INFO    repro.harness.runner:
+benchmark done bench=gzip seconds=3.1``; JSON mode renders one object
+per line with the same fields.  Nothing below the configured level is
+formatted at all.  The default level is ``warning`` so a library user
+only ever sees problems; the CLI raises it via ``--log-level`` or
+``--verbose``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO, Union
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class _LogConfig:
+    __slots__ = ("level", "json_mode", "stream", "configured")
+
+    def __init__(self) -> None:
+        self.level = _LEVELS["warning"]
+        self.json_mode = False
+        self.stream: Optional[TextIO] = None
+        self.configured = False
+
+
+_CONFIG = _LogConfig()
+
+
+def configure(level: Union[str, int] = "info", json_mode: bool = False,
+              stream: Optional[TextIO] = None) -> None:
+    """Configure structured logging for the process.
+
+    Args:
+        level: minimum level to emit — ``"debug"``/``"info"``/
+            ``"warning"``/``"error"`` or a numeric threshold.
+        json_mode: emit one JSON object per line instead of text.
+        stream: destination (default: ``sys.stderr``, resolved at emit
+            time so pytest capture and redirection work).
+    """
+    if isinstance(level, str):
+        try:
+            numeric = _LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(f"unknown log level {level!r}; expected one "
+                             f"of {sorted(_LEVELS)}") from None
+    else:
+        numeric = int(level)
+    _CONFIG.level = numeric
+    _CONFIG.json_mode = json_mode
+    _CONFIG.stream = stream
+    _CONFIG.configured = True
+
+
+def is_configured() -> bool:
+    """Whether :func:`configure` has been called this process."""
+    return _CONFIG.configured
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    if " " in text or "=" in text:
+        return repr(text)
+    return text
+
+
+class StructuredLogger:
+    """A named logger writing structured events (get via get_logger)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _emit(self, level: str, event: str,
+              fields: Dict[str, Any]) -> None:
+        if _LEVELS[level] < _CONFIG.level:
+            return
+        stream = _CONFIG.stream or sys.stderr
+        timestamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+        if _CONFIG.json_mode:
+            record: Dict[str, Any] = {
+                "ts": timestamp, "level": level, "logger": self.name,
+                "event": event}
+            record.update(fields)
+            stream.write(json.dumps(record, default=str) + "\n")
+        else:
+            parts = [f"{timestamp} {level.upper():7s} {self.name}: {event}"]
+            parts.extend(f"{k}={_format_value(v)}"
+                         for k, v in fields.items())
+            stream.write(" ".join(parts) + "\n")
+        stream.flush()
+
+    def debug(self, event: str, **fields: Any) -> None:
+        """Emit at debug level."""
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        """Emit at info level."""
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        """Emit at warning level."""
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        """Emit at error level."""
+        self._emit("error", event, fields)
+
+
+_LOGGERS: Dict[str, StructuredLogger] = {}
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The logger called ``name`` (one instance per name)."""
+    try:
+        return _LOGGERS[name]
+    except KeyError:
+        return _LOGGERS.setdefault(name, StructuredLogger(name))

@@ -1,0 +1,139 @@
+"""Nestable span timers exported as a Chrome trace.
+
+``with span("replay.run", bench="gzip", threshold=50):`` times the
+enclosed work, records the completed span into a process-global trace
+buffer, and feeds its duration into the ``span.<name>.seconds``
+histogram of the metrics registry.  Spans nest (a thread-local stack
+tracks depth and parentage) and the buffer serialises to the Chrome
+trace-event format, so :func:`write_trace` output loads directly in
+``chrome://tracing`` or https://ui.perfetto.dev.
+
+When observability is disabled, :func:`span` returns a shared inert
+context manager — entering and exiting it does nothing at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from . import registry as _registry
+
+#: Trace timestamps are relative to process start of this module.
+_EPOCH = time.perf_counter()
+
+#: Cap on buffered events so pathological loops cannot exhaust memory.
+MAX_TRACE_EVENTS = 200_000
+
+_EVENTS: List[Dict[str, Any]] = []
+_EVENTS_LOCK = threading.Lock()
+_LOCAL = threading.local()
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    return stack
+
+
+class Span:
+    """One timed operation; use via :func:`span` and ``with``."""
+
+    __slots__ = ("name", "attrs", "start", "duration")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.start: Optional[float] = None
+        self.duration: Optional[float] = None
+
+    def __enter__(self) -> "Span":
+        _stack().append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        self.duration = end - self.start
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        args = dict(self.attrs)
+        args["depth"] = len(stack)
+        if stack:
+            args["parent"] = stack[-1].name
+        if exc_type is not None:
+            args["error"] = exc_type.__name__
+        event = {
+            "name": self.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": (self.start - _EPOCH) * 1e6,
+            "dur": self.duration * 1e6,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "args": args,
+        }
+        with _EVENTS_LOCK:
+            if len(_EVENTS) < MAX_TRACE_EVENTS:
+                _EVENTS.append(event)
+        _registry.observe(f"span.{self.name}.seconds", self.duration)
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs: Any) -> Any:
+    """A context manager timing ``name`` with free-form attributes.
+
+    Returns the shared :data:`NULL_SPAN` when observability is
+    disabled, so the call costs one flag check and nothing else.
+    """
+    if not _registry.enabled():
+        return NULL_SPAN
+    return Span(name, attrs)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost span open on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def trace_events() -> List[Dict[str, Any]]:
+    """Completed span events, in completion order (a copy)."""
+    with _EVENTS_LOCK:
+        return list(_EVENTS)
+
+
+def clear_trace() -> None:
+    """Drop all buffered events."""
+    with _EVENTS_LOCK:
+        _EVENTS.clear()
+
+
+def write_trace(path: str) -> None:
+    """Write the buffered spans as Chrome trace JSON to ``path``."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    payload = {"traceEvents": trace_events(), "displayTimeUnit": "ms"}
+    with open(path, "w") as f:
+        json.dump(payload, f)
+        f.write("\n")

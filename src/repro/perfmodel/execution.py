@@ -14,6 +14,8 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..dbt.codecache import TranslationMap
+from ..obs.registry import inc
+from ..obs.spans import span
 from ..stochastic.trace import ExecutionTrace
 from .costs import DEFAULT_COSTS, CostModel
 
@@ -58,41 +60,46 @@ def estimate_cost(trace: ExecutionTrace, tmap: TranslationMap,
     if len(sizes) != trace.num_blocks:
         raise ValueError("block_sizes length does not match block count")
 
-    blocks = trace.blocks.astype(np.int64)
-    positions = np.arange(len(blocks), dtype=np.int64)
-    optimized = tmap.optimized_at[blocks] <= positions
-    step_sizes = sizes[blocks]
+    with span("perfmodel.estimate_cost", steps=trace.num_steps):
+        blocks = trace.blocks.astype(np.int64)
+        positions = np.arange(len(blocks), dtype=np.int64)
+        optimized = tmap.optimized_at[blocks] <= positions
+        step_sizes = sizes[blocks]
 
-    unopt_cost = float(np.sum(
-        np.where(~optimized,
-                 step_sizes * costs.interp_cost + costs.profile_overhead,
-                 0.0)))
-    opt_cost = float(np.sum(
-        np.where(optimized, step_sizes * costs.opt_cost, 0.0)))
+        unopt_cost = float(np.sum(
+            np.where(~optimized,
+                     step_sizes * costs.interp_cost +
+                     costs.profile_overhead,
+                     0.0)))
+        opt_cost = float(np.sum(
+            np.where(optimized, step_sizes * costs.opt_cost, 0.0)))
 
-    # Side exits: an optimised block whose *dynamic* successor edge is not
-    # covered by any region's internal/back edges fell out of translated
-    # code unexpectedly.  Exits from region tails are the planned region
-    # exit and are free.
-    num_side_exits = 0
-    if len(blocks) > 1 and tmap.internal_pairs:
-        src = blocks[:-1]
-        dst = blocks[1:]
-        opt_src = optimized[:-1]
-        codes = src * trace.num_blocks + dst
-        internal_codes = tmap.internal_pair_codes()
-        inside = np.isin(codes, internal_codes)
-        tails = np.zeros(trace.num_blocks, dtype=bool)
-        for block in tmap.tail_blocks:
-            tails[block] = True
-        side = opt_src & ~inside & ~tails[src]
-        num_side_exits = int(np.sum(side))
-    side_cost = num_side_exits * costs.side_exit_penalty
+        # Side exits: an optimised block whose *dynamic* successor edge is
+        # not covered by any region's internal/back edges fell out of
+        # translated code unexpectedly.  Exits from region tails are the
+        # planned region exit and are free.
+        num_side_exits = 0
+        if len(blocks) > 1 and tmap.internal_pairs:
+            src = blocks[:-1]
+            dst = blocks[1:]
+            opt_src = optimized[:-1]
+            codes = src * trace.num_blocks + dst
+            internal_codes = tmap.internal_pair_codes()
+            inside = np.isin(codes, internal_codes)
+            tails = np.zeros(trace.num_blocks, dtype=bool)
+            for block in tmap.tail_blocks:
+                tails[block] = True
+            side = opt_src & ~inside & ~tails[src]
+            num_side_exits = int(np.sum(side))
+        side_cost = num_side_exits * costs.side_exit_penalty
 
-    translation = float(tmap.instructions_translated(sizes) *
-                        costs.translation_cost)
+        translation = float(tmap.instructions_translated(sizes) *
+                            costs.translation_cost)
 
-    optimized_fraction = float(np.mean(optimized)) if len(blocks) else 0.0
+        optimized_fraction = (float(np.mean(optimized))
+                              if len(blocks) else 0.0)
+    inc("perfmodel.estimates")
+    inc("perfmodel.side_exits", num_side_exits)
     return CostBreakdown(
         unoptimized=unopt_cost, optimized=opt_cost, side_exits=side_cost,
         translation=translation, num_side_exits=num_side_exits,

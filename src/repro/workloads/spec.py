@@ -12,7 +12,7 @@ with the original axes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..cfg.graph import ControlFlowGraph
@@ -104,6 +104,24 @@ class SyntheticBenchmark:
             walker = CFGWalker(self.cfg, train, seed=self.seed_train)
             return walker.run(self.train_steps)  # type: ignore[arg-type]
         raise ValueError(f"unknown input {input_name!r}")
+
+    def scaled(self, steps_scale: float) -> "SyntheticBenchmark":
+        """A copy with both run lengths scaled by ``steps_scale``.
+
+        ``self`` is left untouched, so repeated studies of one benchmark
+        instance at different scales never compound.  Floors (20k ref /
+        10k train) keep smoke runs statistically sane, and the cached
+        behaviours are dropped because phase boundaries are realised
+        against the run length.
+        """
+        if steps_scale == 1.0:
+            return self
+        run_steps = max(int(self.run_steps * steps_scale), 20_000)
+        train_steps = max(
+            int((self.train_steps or self.run_steps // 3) * steps_scale),
+            10_000)
+        return replace(self, run_steps=run_steps, train_steps=train_steps,
+                       _behaviors=None)
 
     def loop_forest(self) -> LoopForest:
         """Natural loops of the benchmark CFG."""

@@ -61,6 +61,47 @@ def test_summary_unknown_benchmark(capsys):
     assert "unknown benchmark" in capsys.readouterr().err
 
 
+def test_parser_observability_flags():
+    args = build_parser().parse_args(
+        ["--stats", "--metrics-out", "m.json", "--trace-out", "t.json",
+         "--log-level", "debug", "--log-json"])
+    assert args.stats
+    assert args.metrics_out == "m.json"
+    assert args.trace_out == "t.json"
+    assert args.log_level == "debug"
+    assert args.log_json
+
+
+def test_stats_mode_prints_manifest(capsys):
+    code = main(["--stats", "--benchmarks", "swim", "--quick",
+                 "--no-perf", "--no-cache"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "run manifest" in out
+    assert "fingerprint" in out
+    assert "swim" in out
+    assert "Figure" not in out  # figures skipped in stats mode
+
+
+def test_metrics_and_trace_export(tmp_path, capsys):
+    import json
+    metrics_path = str(tmp_path / "m.json")
+    trace_path = str(tmp_path / "t.json")
+    code = main(["--figures", "13", "--benchmarks", "swim", "--quick",
+                 "--no-perf", "--no-cache", "--metrics-out", metrics_path,
+                 "--trace-out", trace_path])
+    assert code == 0
+    with open(metrics_path) as f:
+        metrics = json.load(f)
+    assert metrics["counters"]["replay.blocks_translated"] > 0
+    assert metrics["counters"]["replay.runs"] > 0
+    with open(trace_path) as f:
+        trace = json.load(f)
+    names = {event["name"] for event in trace["traceEvents"]}
+    assert "full_study" in names
+    assert "replay.run" in names
+
+
 def test_csv_export(tmp_path, capsys):
     out_dir = str(tmp_path / "csv")
     code = main(["--figures", "13", "--benchmarks", "swim", "--quick",

@@ -51,6 +51,48 @@ def test_save_load_roundtrip(tmp_path):
     assert restored.perf_relative()[10] == pytest.approx(1.25)
 
 
+def test_manifest_roundtrip(tmp_path):
+    from repro.obs import build_manifest
+    results = StudyResults()
+    results.benchmarks["demo"] = _result()
+    results.manifest = build_manifest(
+        fingerprint="abc123", names=["demo"], thresholds=[10, 100],
+        steps_scale=0.5, include_perf=True,
+        timings={"demo": 1.25}, total_seconds=1.3)
+    path = str(tmp_path / "results.json")
+    results.save(path)
+    loaded = StudyResults.load(path)
+    assert loaded.manifest["fingerprint"] == "abc123"
+    assert loaded.manifest["timings"] == {"demo": 1.25}
+    assert loaded.manifest["steps_scale"] == 0.5
+    assert "counters" in loaded.manifest["metrics"]
+
+
+def test_missing_manifest_tolerated(tmp_path):
+    results = StudyResults()
+    results.benchmarks["demo"] = _result()
+    path = str(tmp_path / "results.json")
+    results.save(path)
+    # Simulate a file written without a manifest key.
+    import json
+    with open(path) as f:
+        payload = json.load(f)
+    del payload["manifest"]
+    with open(path, "w") as f:
+        json.dump(payload, f)
+    assert StudyResults.load(path).manifest is None
+
+
+def test_render_manifest_smoke():
+    from repro.obs import build_manifest, render_manifest
+    text = render_manifest(build_manifest(
+        fingerprint="abc123", names=["gzip"], thresholds=[10],
+        timings={"gzip": 2.0}, total_seconds=2.0))
+    assert "abc123" in text
+    assert "gzip" in text
+    assert "none recorded" in render_manifest(None)
+
+
 def test_stale_format_rejected(tmp_path):
     import json
     path = str(tmp_path / "stale.json")

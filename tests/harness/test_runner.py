@@ -83,3 +83,86 @@ def test_cache_key_distinguishes_configs(tmp_path):
                    include_perf=False, cache_dir=cache_dir)
     import os
     assert len(os.listdir(cache_dir)) == 2
+
+
+def test_steps_scale_does_not_mutate_benchmark():
+    benchmark = get_benchmark("art")
+    run_steps, train_steps = benchmark.run_steps, benchmark.train_steps
+    study_benchmark(benchmark, [50], steps_scale=0.02, include_perf=False)
+    assert benchmark.run_steps == run_steps
+    assert benchmark.train_steps == train_steps
+    # Repeating with another scale must not compound either.
+    study_benchmark(benchmark, [50], steps_scale=0.5, include_perf=False)
+    assert benchmark.run_steps == run_steps
+
+
+def test_scaled_copy_floors_and_identity():
+    benchmark = get_benchmark("art")
+    assert benchmark.scaled(1.0) is benchmark
+    tiny = benchmark.scaled(1e-9)
+    assert tiny.run_steps == 20_000
+    assert tiny.train_steps == 10_000
+    assert tiny.name == benchmark.name
+
+
+def test_stale_cache_is_warned_and_counted(tmp_path):
+    import io
+    import os
+
+    from repro.dbt import DBTConfig
+    from repro.harness.runner import _fingerprint
+    from repro.obs import configure, counter_value
+    from repro.obs import log as obslog
+    from repro.perfmodel import DEFAULT_COSTS
+
+    cache_dir = str(tmp_path / "cache")
+    os.makedirs(cache_dir)
+    key = _fingerprint(["art"], [50], DBTConfig(), DEFAULT_COSTS, 0.02,
+                       False)
+    cache_path = os.path.join(cache_dir, f"study-{key}.json")
+    with open(cache_path, "w") as f:
+        f.write("{ not json")
+
+    saved = (obslog._CONFIG.level, obslog._CONFIG.json_mode,
+             obslog._CONFIG.stream, obslog._CONFIG.configured)
+    stream = io.StringIO()
+    configure(level="warning", stream=stream)
+    stale_before = counter_value("cache.stale")
+    miss_before = counter_value("cache.miss")
+    try:
+        results = run_full_study(names=["art"], thresholds=[50],
+                                 steps_scale=0.02, include_perf=False,
+                                 cache_dir=cache_dir)
+    finally:
+        (obslog._CONFIG.level, obslog._CONFIG.json_mode,
+         obslog._CONFIG.stream, obslog._CONFIG.configured) = saved
+    assert "art" in results.benchmarks  # recomputed despite bad cache
+    assert counter_value("cache.stale") == stale_before + 1
+    assert counter_value("cache.miss") == miss_before + 1
+    logged = stream.getvalue()
+    assert "stale results cache" in logged
+    assert cache_path in logged
+
+
+def test_manifest_attached_and_cached(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    kwargs = dict(names=["art"], thresholds=[50], steps_scale=0.02,
+                  include_perf=False, cache_dir=cache_dir)
+    first = run_full_study(**kwargs)
+    assert first.manifest is not None
+    assert first.manifest["benchmarks"] == ["art"]
+    assert "art" in first.manifest["timings"]
+    assert first.manifest["metrics"]["counters"]
+    second = run_full_study(**kwargs)  # from disk, manifest included
+    assert second.manifest["fingerprint"] == first.manifest["fingerprint"]
+
+
+def test_replay_metrics_counted():
+    from repro.obs import counter_value
+    translated = counter_value("replay.blocks_translated")
+    misses = counter_value("cache.miss")
+    run_full_study(names=["art"], thresholds=[50], steps_scale=0.02,
+                   include_perf=False, cache_dir=None)
+    assert counter_value("replay.blocks_translated") > translated
+    # cache_dir=None must not touch the cache counters.
+    assert counter_value("cache.miss") == misses

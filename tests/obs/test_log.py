@@ -1,0 +1,77 @@
+"""Structured logger: configure(), levels, text and JSON rendering."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import log as obslog
+
+
+@pytest.fixture
+def capture():
+    """Configure logging into a StringIO, restoring state afterwards."""
+    saved = (obslog._CONFIG.level, obslog._CONFIG.json_mode,
+             obslog._CONFIG.stream, obslog._CONFIG.configured)
+    stream = io.StringIO()
+
+    def conf(**kwargs):
+        kwargs.setdefault("stream", stream)
+        obslog.configure(**kwargs)
+        return stream
+
+    yield conf
+    (obslog._CONFIG.level, obslog._CONFIG.json_mode,
+     obslog._CONFIG.stream, obslog._CONFIG.configured) = saved
+
+
+def test_text_mode_key_values(capture):
+    stream = capture(level="info")
+    log = obslog.get_logger("repro.test")
+    log.info("benchmark done", bench="gzip", seconds=3.125)
+    line = stream.getvalue()
+    assert "INFO" in line
+    assert "repro.test: benchmark done" in line
+    assert "bench=gzip" in line
+    assert "seconds=3.125" in line
+
+
+def test_json_mode_one_object_per_line(capture):
+    stream = capture(level="debug", json_mode=True)
+    log = obslog.get_logger("repro.test")
+    log.warning("stale cache", path="/tmp/x.json")
+    record = json.loads(stream.getvalue())
+    assert record["level"] == "warning"
+    assert record["logger"] == "repro.test"
+    assert record["event"] == "stale cache"
+    assert record["path"] == "/tmp/x.json"
+
+
+def test_level_filtering(capture):
+    stream = capture(level="warning")
+    log = obslog.get_logger("repro.test")
+    log.info("hidden")
+    log.debug("hidden too")
+    assert stream.getvalue() == ""
+    log.error("shown")
+    assert "shown" in stream.getvalue()
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(ValueError):
+        obslog.configure(level="chatty")
+
+
+def test_values_with_spaces_are_quoted(capture):
+    stream = capture(level="info")
+    obslog.get_logger("repro.test").info("msg", detail="two words")
+    assert "detail='two words'" in stream.getvalue()
+
+
+def test_get_logger_is_cached():
+    assert obslog.get_logger("repro.same") is obslog.get_logger("repro.same")
+
+
+def test_is_configured_flag(capture):
+    capture(level="info")
+    assert obslog.is_configured()

@@ -1,0 +1,122 @@
+"""Registry semantics: counters, gauges, histograms, the no-op path."""
+
+import json
+
+import pytest
+
+from repro.obs import registry as reg
+from repro.obs.registry import (Counter, Histogram, MetricsRegistry,
+                                counter_value, disable, enable, enabled,
+                                inc, metrics_snapshot, observe, set_gauge,
+                                write_metrics)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def test_counter_get_or_create_identity(registry):
+    a = registry.counter("x")
+    b = registry.counter("x")
+    assert a is b
+    assert registry.counter("y") is not a
+
+
+def test_counter_increments(registry):
+    c = registry.counter("c")
+    assert c.value == 0
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+
+
+def test_gauge_last_write_wins(registry):
+    g = registry.gauge("g")
+    assert g.value is None
+    g.set(3)
+    g.set(7.5)
+    assert g.value == 7.5
+
+
+def test_histogram_summary_percentiles(registry):
+    h = registry.histogram("h")
+    for v in range(1, 101):
+        h.observe(v)
+    summary = h.summary()
+    assert summary["count"] == 100
+    assert summary["min"] == 1 and summary["max"] == 100
+    assert summary["mean"] == pytest.approx(50.5)
+    assert summary["p50"] == pytest.approx(50.5)
+    assert summary["p90"] == pytest.approx(90.1)
+    assert summary["p99"] == pytest.approx(99.01)
+
+
+def test_histogram_empty_and_singleton():
+    h = Histogram("h")
+    assert h.summary() == {"count": 0}
+    with pytest.raises(ValueError):
+        h.percentile(50)
+    h.observe(2.0)
+    assert h.summary()["p99"] == 2.0
+
+
+def test_snapshot_shape(registry):
+    registry.counter("a").inc(2)
+    registry.gauge("b").set(1)
+    registry.histogram("c").observe(3)
+    snap = registry.snapshot()
+    assert snap["counters"] == {"a": 2}
+    assert snap["gauges"] == {"b": 1}
+    assert snap["histograms"]["c"]["count"] == 1
+    json.dumps(snap)  # must be serialisable
+
+
+def test_reset(registry):
+    registry.counter("a").inc()
+    registry.reset()
+    assert registry.snapshot()["counters"] == {}
+
+
+def test_global_helpers_roundtrip():
+    before = counter_value("test.helper")
+    inc("test.helper", 3)
+    assert counter_value("test.helper") == before + 3
+    set_gauge("test.gauge", 9)
+    observe("test.hist", 1.0)
+    snap = metrics_snapshot()
+    assert snap["gauges"]["test.gauge"] == 9
+    assert snap["histograms"]["test.hist"]["count"] >= 1
+
+
+def test_disabled_is_noop():
+    assert enabled()
+    before = counter_value("test.disabled")
+    disable()
+    try:
+        assert not enabled()
+        inc("test.disabled", 100)
+        set_gauge("test.disabled.gauge", 1)
+        observe("test.disabled.hist", 1.0)
+        assert counter_value("test.disabled") == before
+        snap = metrics_snapshot()
+        assert "test.disabled.gauge" not in snap["gauges"]
+        assert "test.disabled.hist" not in snap["histograms"]
+    finally:
+        enable()
+    inc("test.disabled")
+    assert counter_value("test.disabled") == before + 1
+
+
+def test_write_metrics(tmp_path):
+    inc("test.written")
+    path = tmp_path / "m" / "metrics.json"
+    write_metrics(str(path))
+    with open(path) as f:
+        payload = json.load(f)
+    assert payload["counters"]["test.written"] >= 1
+
+
+def test_registry_isolated_from_global(registry):
+    registry.counter("test.isolated").inc()
+    assert "test.isolated" not in reg.metrics_snapshot()["counters"]
