@@ -1,0 +1,127 @@
+"""Micro-benchmark: reduced full-study wall time, serial vs parallel.
+
+Times the same reduced study twice — ``jobs=1`` (serial, but still using
+the single-pass multi-threshold replay) and ``jobs=N`` (process-pool
+fan-out) — verifies the figure data is bit-identical, measures the
+single-pass replay against per-threshold replays on one benchmark, and
+writes everything to ``BENCH_study.json`` so CI can track the perf
+trajectory PR-over-PR::
+
+    PYTHONPATH=src python benchmarks/bench_study.py --out BENCH_study.json
+
+Run as a script (pytest collects this file but finds no tests in it).
+"""
+
+import argparse
+import json
+import os
+import time
+
+BENCH_NAMES = ["gzip", "mcf", "perlbmk", "twolf",       # INT
+               "art", "swim", "ammp", "equake"]         # FP
+BENCH_THRESHOLDS = [5, 50, 500, 5000]
+BENCH_SCALE = 0.5
+
+
+def _strip_manifest_bytes(results) -> bytes:
+    """Serialised figure data with the (timing-bearing) manifest removed."""
+    manifest, results.manifest = results.manifest, None
+    try:
+        from repro.harness.results import _result_to_dict
+        payload = {name: _result_to_dict(r)
+                   for name, r in results.benchmarks.items()}
+        return json.dumps(payload, sort_keys=True).encode()
+    finally:
+        results.manifest = manifest
+
+
+def bench_full_study(jobs: int, scale: float):
+    from repro.harness import run_full_study
+
+    started = time.perf_counter()
+    results = run_full_study(names=BENCH_NAMES,
+                             thresholds=BENCH_THRESHOLDS,
+                             steps_scale=scale, include_perf=True,
+                             cache_dir=None, jobs=jobs)
+    return time.perf_counter() - started, results
+
+
+def bench_replay_single_vs_multi(scale: float):
+    """One benchmark: per-threshold ReplayDBT loop vs the single pass."""
+    from repro.dbt import DBTConfig, MultiThresholdReplay, ReplayDBT
+    from repro.workloads import get_benchmark
+
+    benchmark = get_benchmark("gzip").scaled(scale)
+    trace = benchmark.trace("ref")
+    loops = benchmark.loop_forest()
+    config = DBTConfig()
+    trace.events()  # shared index built up front for both contenders
+
+    started = time.perf_counter()
+    for t in BENCH_THRESHOLDS:
+        ReplayDBT(trace, benchmark.cfg, config.with_threshold(t),
+                  loops=loops).run()
+    single_sum = time.perf_counter() - started
+
+    started = time.perf_counter()
+    MultiThresholdReplay(trace, benchmark.cfg, BENCH_THRESHOLDS,
+                         base_config=config, loops=loops).run()
+    multi = time.perf_counter() - started
+    return single_sum, multi
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_study.json",
+                        help="output JSON path")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker count (default: all CPUs)")
+    parser.add_argument("--scale", type=float, default=BENCH_SCALE,
+                        help="steps_scale of the reduced study")
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs or os.cpu_count() or 1
+    print(f"reduced study: {len(BENCH_NAMES)} benchmarks x "
+          f"{len(BENCH_THRESHOLDS)} thresholds at scale {args.scale}")
+
+    serial_seconds, serial = bench_full_study(jobs=1, scale=args.scale)
+    print(f"serial   (jobs=1): {serial_seconds:8.2f}s")
+    parallel_seconds, parallel = bench_full_study(jobs=jobs,
+                                                  scale=args.scale)
+    print(f"parallel (jobs={jobs}): {parallel_seconds:8.2f}s")
+
+    identical = _strip_manifest_bytes(serial) == \
+        _strip_manifest_bytes(parallel)
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    print(f"speedup: {speedup:.2f}x  figure data identical: {identical}")
+
+    single_sum, multi = bench_replay_single_vs_multi(args.scale)
+    replay_speedup = single_sum / multi if multi else 0.0
+    print(f"replay sweep: per-threshold {single_sum:.3f}s vs "
+          f"single-pass {multi:.3f}s ({replay_speedup:.2f}x)")
+
+    payload = {
+        "benchmarks": BENCH_NAMES,
+        "thresholds": BENCH_THRESHOLDS,
+        "steps_scale": args.scale,
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(speedup, 3),
+        "figure_data_identical": identical,
+        "replay_sweep": {
+            "per_threshold_seconds": round(single_sum, 3),
+            "single_pass_seconds": round(multi, 3),
+            "speedup": round(replay_speedup, 3),
+        },
+    }
+    with open(args.out, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

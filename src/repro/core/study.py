@@ -13,11 +13,12 @@ trace) this module produces everything the evaluation section plots:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..cfg.graph import ControlFlowGraph
 from ..cfg.loops import LoopForest, find_loops
 from ..dbt.config import DBTConfig
+from ..dbt.multireplay import MultiThresholdReplay, ThresholdReplayState
 from ..dbt.replay import ReplayDBT
 from ..profiles.merge import avep_from_trace
 from ..profiles.model import ProfileSnapshot
@@ -29,12 +30,19 @@ from .train_regions import TrainRegionComparison, compare_train_regions
 
 @dataclass
 class ThresholdOutcome:
-    """INIP(T) and its comparison against AVEP, for one threshold."""
+    """INIP(T) and its comparison against AVEP, for one threshold.
+
+    ``replay`` is the finished pipeline state the snapshot came from —
+    a :class:`~repro.dbt.multireplay.ThresholdReplayState` when produced
+    by the single-pass sweep, or a standalone
+    :class:`~repro.dbt.replay.ReplayDBT`; both expose the same
+    ``regions``/``freeze_step``/``translation_map()`` surface.
+    """
 
     threshold: int
     snapshot: ProfileSnapshot
     comparison: ComparisonResult
-    replay: ReplayDBT = field(repr=False)
+    replay: Union[ThresholdReplayState, ReplayDBT] = field(repr=False)
 
     @property
     def profiling_ops(self) -> int:
@@ -119,15 +127,19 @@ def run_threshold_sweep(name: str,
     train_region_comparison = compare_train_regions(
         cfg, train_profile, avep, config=base_config, loops=loops)
 
+    # One merged pass over the reference trace maintains every
+    # threshold's freeze state simultaneously (event-for-event equivalent
+    # to per-threshold ReplayDBT runs; see repro.dbt.multireplay).
+    multi = MultiThresholdReplay(ref_trace, cfg, thresholds,
+                                 base_config=base_config, loops=loops).run()
     outcomes: Dict[int, ThresholdOutcome] = {}
-    for threshold in thresholds:
-        config = base_config.with_threshold(threshold)
-        replay = ReplayDBT(ref_trace, cfg, config, loops=loops)
-        snapshot = replay.snapshot(input_name="ref")
+    for threshold in dict.fromkeys(thresholds):
+        state = multi.state(threshold)
+        snapshot = state.snapshot(input_name="ref")
         comparison = compare_inip_to_avep(cfg, snapshot, avep)
         outcomes[threshold] = ThresholdOutcome(
             threshold=threshold, snapshot=snapshot, comparison=comparison,
-            replay=replay)
+            replay=state)
 
     return BenchmarkStudy(
         name=name, cfg=cfg, avep=avep, train_profile=train_profile,

@@ -6,6 +6,7 @@
 * :mod:`repro.dbt.regions` — optimisation-phase region formation.
 * :mod:`repro.dbt.translator` — the live, event-driven translator.
 * :mod:`repro.dbt.replay` — threshold sweeps over recorded traces.
+* :mod:`repro.dbt.multireplay` — single-pass sweeps of many thresholds.
 * :mod:`repro.dbt.codecache` — block-level translation summaries for the
   performance model.
 """
@@ -13,6 +14,7 @@
 from .codecache import TranslationMap, translation_map_from_replay
 from .config import DBTConfig
 from .counters import CounterTable
+from .multireplay import MultiThresholdReplay, ThresholdReplayState
 from .pool import CandidatePool
 from .regions import FormationResult, RegionFormer
 from .replay import ReplayDBT, inip_from_trace
@@ -20,6 +22,7 @@ from .translator import TwoPhaseDBT
 
 __all__ = [
     "CandidatePool", "CounterTable", "DBTConfig", "FormationResult",
-    "RegionFormer", "ReplayDBT", "TranslationMap", "TwoPhaseDBT",
+    "MultiThresholdReplay", "RegionFormer", "ReplayDBT",
+    "ThresholdReplayState", "TranslationMap", "TwoPhaseDBT",
     "inip_from_trace", "translation_map_from_replay",
 ]

@@ -1,0 +1,205 @@
+"""Single-pass multi-threshold replay: one trace walk, every INIP(T).
+
+:class:`~repro.dbt.replay.ReplayDBT` replays one threshold per pass, so a
+13-point sweep re-seeds a heap and re-walks the registration stream 13
+times.  :class:`MultiThresholdReplay` maintains the per-threshold pipeline
+state (candidate pool, freeze steps, regions) for *all* swept thresholds
+simultaneously and drains one merged event heap, so the sweep costs a
+single ordered pass over the union of every threshold's registration
+events.
+
+It is event-for-event equivalent to N independent replays:
+
+* threshold states never interact — each has its own pool, freeze map and
+  region former, exactly as in N separate :class:`ReplayDBT` instances;
+* within one threshold every registration event has a *distinct* trace
+  position (exactly one block executes per step, and a block's k-th and
+  j-th registrations happen at different executions), so ordering the
+  merged heap by ``(position, threshold, block)`` preserves each
+  threshold's own event order exactly.
+
+``tests/dbt/test_multireplay.py`` enforces the equivalence snapshot-for-
+snapshot, region-for-region and event-for-event.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..cfg.graph import ControlFlowGraph
+from ..cfg.loops import LoopForest, find_loops
+from ..obs.registry import inc
+from ..obs.spans import span
+from ..profiles.model import ProfileSnapshot, Region
+from ..stochastic.trace import ExecutionTrace
+from .codecache import TranslationMap, translation_map_from_replay
+from .config import DBTConfig
+from .pool import CandidatePool
+from .regions import RegionFormer
+from .replay import (frozen_counter_view, registration_positions,
+                     snapshot_from_state)
+
+
+class ThresholdReplayState:
+    """One threshold's pipeline state inside a multi-threshold replay.
+
+    After :meth:`MultiThresholdReplay.run` this carries exactly what a
+    finished :class:`~repro.dbt.replay.ReplayDBT` at the same threshold
+    would (``freeze_step``/``regions``/``optimized``/
+    ``optimization_events`` plus ``trace``/``cfg``/``config``/``loops``),
+    so it slots into every consumer of a ran replay —
+    :class:`~repro.core.study.ThresholdOutcome` and
+    :func:`~repro.dbt.codecache.translation_map_from_replay` included.
+    """
+
+    __slots__ = ("trace", "cfg", "config", "loops", "former", "freeze_step",
+                 "regions", "optimized", "optimization_events", "_events",
+                 "_tmap")
+
+    def __init__(self, trace: ExecutionTrace, cfg: ControlFlowGraph,
+                 config: DBTConfig, loops: LoopForest):
+        self.trace = trace
+        self.cfg = cfg
+        self.config = config
+        self.loops = loops
+        self.former = RegionFormer(cfg, loops, config)
+        self.freeze_step: Dict[int, int] = {}
+        self.regions: List[Region] = []
+        self.optimized: Set[int] = set()
+        self.optimization_events: List[Tuple[int, List[int]]] = []
+        self._events = trace.events()
+        self._tmap: Optional[TranslationMap] = None
+
+    def snapshot(self, input_name: str = "ref") -> ProfileSnapshot:
+        """The INIP(T) profile of this threshold's finished state."""
+        return snapshot_from_state(self.trace, self._events, self.config,
+                                   self.freeze_step, self.regions,
+                                   input_name)
+
+    def translation_map(self) -> TranslationMap:
+        """The code-cache summary for the perf model (cached)."""
+        if self._tmap is None:
+            self._tmap = translation_map_from_replay(self)
+        return self._tmap
+
+
+class MultiThresholdReplay:
+    """Replays the two-phase pipeline at many thresholds in one pass.
+
+    Args:
+        trace: the recorded run shared by every threshold.
+        cfg: static CFG the trace was produced from.
+        thresholds: thresholds to sweep (duplicates collapse).
+        base_config: DBT knobs; its threshold field is overridden per
+            swept point.
+        loops: optional precomputed loop forest.
+    """
+
+    def __init__(self, trace: ExecutionTrace, cfg: ControlFlowGraph,
+                 thresholds: Sequence[int],
+                 base_config: Optional[DBTConfig] = None,
+                 loops: Optional[LoopForest] = None):
+        if trace.num_blocks != cfg.num_nodes:
+            raise ValueError("trace and CFG disagree on block count")
+        if not thresholds:
+            raise ValueError("at least one threshold is required")
+        base_config = base_config or DBTConfig()
+        self.trace = trace
+        self.cfg = cfg
+        self.loops = loops or find_loops(cfg)
+        self.states: Dict[int, ThresholdReplayState] = {}
+        for t in thresholds:
+            if t not in self.states:
+                self.states[t] = ThresholdReplayState(
+                    trace, cfg, base_config.with_threshold(t), self.loops)
+        self._ran = False
+
+    @property
+    def thresholds(self) -> List[int]:
+        """Swept thresholds in ascending order."""
+        return sorted(self.states)
+
+    def run(self) -> "MultiThresholdReplay":
+        """Drain the merged registration stream, updating every state."""
+        if self._ran:
+            return self
+        self._ran = True
+        events = self.trace.events()
+        order = self.thresholds
+        states = [self.states[t] for t in order]
+        pools = [CandidatePool(s.config) for s in states]
+        positions = [registration_positions(events, t) for t in order]
+        # Per (threshold, block): index of the next registration to
+        # schedule once the current one has been consumed unfrozen.
+        next_k: List[Dict[int, int]] = [
+            {block: 1 for block in regs} for regs in positions]
+
+        with span("replay.multi_run", thresholds=len(states)):
+            heap: List[Tuple[int, int, int]] = [
+                (int(regs[0]), idx, block)
+                for idx, per_block in enumerate(positions)
+                for block, regs in per_block.items()]
+            heapq.heapify(heap)
+
+            while heap:
+                pos, idx, block = heapq.heappop(heap)
+                state = states[idx]
+                freeze_step = state.freeze_step
+                if block in freeze_step:
+                    continue  # counting stopped before this occurrence
+                trigger = pools[idx].register(block)
+                if trigger:
+                    self._optimize(state, pools[idx], events, now=pos + 1)
+                if block not in freeze_step:
+                    regs = positions[idx][block]
+                    k = next_k[idx][block]
+                    if k < len(regs):
+                        next_k[idx][block] = k + 1
+                        heapq.heappush(heap, (int(regs[k]), idx, block))
+
+        for state in states:
+            inc("replay.runs")
+            inc("replay.blocks_translated", len(events))
+            inc("replay.retranslations", len(state.optimized))
+            inc("replay.regions_formed", len(state.regions))
+            inc("replay.optimization_events",
+                len(state.optimization_events))
+        return self
+
+    def _optimize(self, state: ThresholdReplayState, pool: CandidatePool,
+                  events, now: int) -> None:
+        drained = pool.drain()
+        pool_blocks = [b for b in drained if b not in state.optimized]
+        if len(pool_blocks) != len(drained):
+            inc("pool.evictions", len(drained) - len(pool_blocks))
+        if not pool_blocks:
+            return
+        counters = frozen_counter_view(events, state.freeze_step, now)
+        result = state.former.form(
+            pool_blocks, counters, state.optimized,
+            next_region_id=len(state.regions), formed_at=now)
+        state.regions.extend(result.regions)
+        for b in result.newly_optimized:
+            state.freeze_step[b] = now
+        state.optimized.update(result.newly_optimized)
+        state.optimization_events.append(
+            (now, sorted(result.newly_optimized)))
+
+    # -- output ---------------------------------------------------------------------
+
+    def state(self, threshold: int) -> ThresholdReplayState:
+        """The finished state of one threshold (runs on first call)."""
+        self.run()
+        return self.states[threshold]
+
+    def snapshots(self, input_name: str = "ref"
+                  ) -> Dict[int, ProfileSnapshot]:
+        """INIP(T) snapshots of every swept threshold, ascending."""
+        self.run()
+        return {t: self.states[t].snapshot(input_name)
+                for t in self.thresholds}
+
+    def __iter__(self) -> Iterator[ThresholdReplayState]:
+        self.run()
+        return iter(self.states[t] for t in self.thresholds)

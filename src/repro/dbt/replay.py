@@ -9,23 +9,101 @@ proportional to the number of registrations, not the number of steps.
 
 The replay is algebraically identical to :class:`repro.dbt.translator
 .TwoPhaseDBT` fed the same trace; ``tests/dbt/test_replay_equivalence.py``
-asserts snapshot-for-snapshot equality.
+asserts snapshot-for-snapshot equality.  For sweeping many thresholds over
+one trace in a single pass, see :class:`repro.dbt.multireplay
+.MultiThresholdReplay`.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
+
+import numpy as np
 
 from ..cfg.graph import ControlFlowGraph
 from ..cfg.loops import LoopForest, find_loops
 from ..obs.registry import inc
 from ..obs.spans import span
 from ..profiles.model import BlockProfile, ProfileSnapshot, Region
-from ..stochastic.trace import ExecutionTrace
+from ..stochastic.trace import BlockEvents, ExecutionTrace
+from .codecache import TranslationMap, translation_map_from_replay
 from .config import DBTConfig
 from .pool import CandidatePool
 from .regions import RegionFormer
+
+
+def registration_positions(events: Mapping[int, BlockEvents],
+                           threshold: int) -> Dict[int, np.ndarray]:
+    """Per block, the trace positions of its registration events.
+
+    The k-th registration of a block is its ``(k*T)``-th execution, i.e.
+    ``steps[k*T - 1]``; one strided slice pulls all of them out of the
+    sorted step array at once, so the replay hot loop indexes a
+    precomputed array instead of re-deriving positions event by event.
+    """
+    positions: Dict[int, np.ndarray] = {}
+    for block, ev in events.items():
+        regs = ev.steps[threshold - 1::threshold]
+        if len(regs):
+            positions[block] = regs
+    return positions
+
+
+def frozen_counter_view(events: Mapping[int, BlockEvents],
+                        freeze_step: Mapping[int, int],
+                        now: int) -> Callable[[int], Tuple[int, int]]:
+    """Counter view at live-step ``now`` (= trace position + 1).
+
+    A block's counters stop at its freeze step; unfrozen blocks report
+    their counts up to ``now``.  This is the optimiser's (frozen-aware)
+    view of the profile, shared by the single- and multi-threshold
+    replays.
+    """
+    events_get = events.get
+    freeze_get = freeze_step.get
+
+    def view(block: int) -> Tuple[int, int]:
+        ev = events_get(block)
+        if ev is None:
+            return (0, 0)
+        limit = freeze_get(block)
+        upto = now if limit is None else min(now, limit)
+        use = ev.use_before(upto)
+        taken = int(ev.taken_prefix[use])
+        return (use, taken)
+
+    return view
+
+
+def snapshot_from_state(trace: ExecutionTrace,
+                        events: Mapping[int, BlockEvents],
+                        config: DBTConfig,
+                        freeze_step: Mapping[int, int],
+                        regions: List[Region],
+                        input_name: str = "ref") -> ProfileSnapshot:
+    """Distil a finished replay state into the INIP(T) snapshot."""
+    blocks: Dict[int, BlockProfile] = {}
+    profiling_ops = 0
+    freeze_get = freeze_step.get
+    for block, ev in events.items():
+        limit = freeze_get(block)
+        use = ev.use if limit is None else ev.use_before(limit)
+        taken = int(ev.taken_prefix[use])
+        if use > 0:
+            blocks[block] = BlockProfile(
+                block_id=block, use=use, taken=taken, frozen_at=limit)
+        profiling_ops += use + taken
+    snapshot = ProfileSnapshot(
+        label=f"INIP({config.threshold})",
+        input_name=input_name,
+        threshold=config.threshold,
+        blocks=blocks,
+        regions=list(regions),
+        total_steps=trace.num_steps,
+        profiling_ops=profiling_ops)
+    snapshot.validate()
+    return snapshot
 
 
 class ReplayDBT:
@@ -55,25 +133,13 @@ class ReplayDBT:
         self.optimization_events: List[Tuple[int, List[int]]] = []
         self._events = trace.events()
         self._ran = False
+        self._tmap: Optional[TranslationMap] = None
 
     # -- frozen-aware counter view --------------------------------------------
 
     def _counters_at(self, now: int):
         """Counter view at live-step ``now`` (= trace position + 1)."""
-        events = self._events
-        freeze_step = self.freeze_step
-
-        def view(block: int) -> Tuple[int, int]:
-            ev = events.get(block)
-            if ev is None:
-                return (0, 0)
-            limit = freeze_step.get(block)
-            upto = now if limit is None else min(now, limit)
-            use = ev.use_before(upto)
-            taken = int(ev.taken_prefix[use])
-            return (use, taken)
-
-        return view
+        return frozen_counter_view(self._events, self.freeze_step, now)
 
     # -- the replay ----------------------------------------------------------------
 
@@ -85,29 +151,30 @@ class ReplayDBT:
         threshold = self.config.threshold
         pool = CandidatePool(self.config)
         events = self._events
+        freeze_step = self.freeze_step
 
         with span("replay.run", threshold=threshold):
-            # Heap of (trace position, block, registration ordinal k): the
-            # position of each block's (k*T)-th execution.  Scheduled
-            # lazily so tiny thresholds don't enqueue every step up front.
-            heap: List[Tuple[int, int, int]] = []
-            for block, ev in events.items():
-                pos = ev.step_of_use(threshold)
-                if pos is not None:
-                    heap.append((pos, block, 1))
+            # Heap of (trace position, block, registration ordinal k) over
+            # the precomputed per-block registration-position arrays; only
+            # each block's *next* registration is enqueued, so tiny
+            # thresholds don't flood the heap up front.
+            positions = registration_positions(events, threshold)
+            heap: List[Tuple[int, int, int]] = [
+                (int(regs[0]), block, 1)
+                for block, regs in positions.items()]
             heapq.heapify(heap)
 
             while heap:
                 pos, block, k = heapq.heappop(heap)
-                if block in self.freeze_step:
+                if block in freeze_step:
                     continue  # counting stopped before this occurrence
                 trigger = pool.register(block)
                 if trigger:
                     self._optimize(pool, now=pos + 1)
-                if block not in self.freeze_step:
-                    nxt = events[block].step_of_use((k + 1) * threshold)
-                    if nxt is not None:
-                        heapq.heappush(heap, (nxt, block, k + 1))
+                if block not in freeze_step:
+                    regs = positions[block]
+                    if k < len(regs):
+                        heapq.heappush(heap, (int(regs[k]), block, k + 1))
         # Every block seen in the trace got a quick translation; the
         # optimised set was retranslated into regions.
         inc("replay.runs")
@@ -138,26 +205,17 @@ class ReplayDBT:
     def snapshot(self, input_name: str = "ref") -> ProfileSnapshot:
         """The INIP(T) profile (runs the replay on first call)."""
         self.run()
-        blocks: Dict[int, BlockProfile] = {}
-        profiling_ops = 0
-        for block, ev in self._events.items():
-            limit = self.freeze_step.get(block)
-            use = ev.use if limit is None else ev.use_before(limit)
-            taken = int(ev.taken_prefix[use])
-            if use > 0:
-                blocks[block] = BlockProfile(
-                    block_id=block, use=use, taken=taken, frozen_at=limit)
-            profiling_ops += use + taken
-        snapshot = ProfileSnapshot(
-            label=f"INIP({self.config.threshold})",
-            input_name=input_name,
-            threshold=self.config.threshold,
-            blocks=blocks,
-            regions=list(self.regions),
-            total_steps=self.trace.num_steps,
-            profiling_ops=profiling_ops)
-        snapshot.validate()
-        return snapshot
+        return snapshot_from_state(self.trace, self._events, self.config,
+                                   self.freeze_step, self.regions,
+                                   input_name)
+
+    def translation_map(self) -> TranslationMap:
+        """The code-cache summary for the perf model (cached; runs the
+        replay on first call)."""
+        if self._tmap is None:
+            self.run()
+            self._tmap = translation_map_from_replay(self)
+        return self._tmap
 
 
 def inip_from_trace(trace: ExecutionTrace, cfg: ControlFlowGraph,

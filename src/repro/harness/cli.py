@@ -44,6 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the Figure 17 cost model")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not write the results cache")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the per-benchmark "
+                             "fan-out (default: $REPRO_JOBS, else all "
+                             "CPUs; 1 = serial; results are identical "
+                             "for any N)")
     parser.add_argument("--verbose", action="store_true",
                         help="print per-benchmark progress")
     parser.add_argument("--summary", metavar="BENCH", default=None,
@@ -91,7 +96,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return print_summary(args.summary,
                              steps_scale=0.1 if args.quick else 1.0,
                              include_perf=not args.no_perf,
-                             use_cache=not args.no_cache)
+                             use_cache=not args.no_cache,
+                             jobs=args.jobs)
     if args.figures:
         wanted = args.figures
     else:
@@ -121,7 +127,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         steps_scale=0.1 if args.quick else 1.0,
         include_perf=not args.no_perf,
         cache_dir=cache_dir,
-        verbose=args.verbose)
+        verbose=args.verbose,
+        jobs=args.jobs)
 
     for number in wanted:
         builder = FIGURES.get(number)
@@ -145,7 +152,8 @@ def _dispatch(args: argparse.Namespace) -> int:
 
 
 def print_summary(name: str, steps_scale: float = 1.0,
-                  include_perf: bool = True, use_cache: bool = True) -> int:
+                  include_perf: bool = True, use_cache: bool = True,
+                  jobs: Optional[int] = None) -> int:
     """Print one benchmark's complete study card."""
     from ..workloads.spec import nominal_label
     from .tables import Table
@@ -156,7 +164,8 @@ def print_summary(name: str, steps_scale: float = 1.0,
     results = run_full_study(
         names=[name], thresholds=SIM_THRESHOLDS, steps_scale=steps_scale,
         include_perf=include_perf,
-        cache_dir=DEFAULT_CACHE_DIR if use_cache else None)
+        cache_dir=DEFAULT_CACHE_DIR if use_cache else None,
+        jobs=jobs)
     result = results.benchmarks[name]
 
     print(f"{name} ({result.suite.upper()}): training reference "

@@ -1,0 +1,127 @@
+"""Process-pool fan-out for the study runner.
+
+``run_full_study`` is embarrassingly parallel across benchmarks: each
+:func:`~repro.harness.runner.study_benchmark` call depends only on its
+benchmark name and the run configuration.  This module dispatches those
+jobs across a :class:`concurrent.futures.ProcessPoolExecutor` and ships
+each worker's observability signals back to the parent, so ``--stats``,
+``--metrics-out``, ``--trace-out`` and manifest timings stay exactly as
+informative as in a serial run.
+
+Each worker resets its (fork-inherited) metrics registry and span buffer
+before computing, then returns ``(BenchmarkResult, metrics state, span
+events, seconds)``; the parent folds the state into the global registry
+(:func:`repro.obs.merge_state`) and the span buffer
+(:func:`repro.obs.extend_trace`).  Results are pure functions of the
+inputs, so ``--jobs N`` output is bit-identical to ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..dbt.config import DBTConfig
+from ..obs import registry as obsregistry
+from ..obs import spans as obsspans
+from ..perfmodel.costs import CostModel
+from ..workloads.spec import get_benchmark
+from .results import BenchmarkResult
+
+#: Environment variable overriding the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """The effective worker count.
+
+    Explicit ``jobs`` wins; otherwise the :data:`JOBS_ENV` environment
+    variable; otherwise every CPU.  ``1`` selects the serial path.
+    """
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV)
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV} must be an integer, got {env!r}") from None
+        else:
+            jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass
+class WorkerOutput:
+    """One benchmark's study result plus the worker's observability."""
+
+    name: str
+    result: BenchmarkResult
+    seconds: float
+    metrics: Dict[str, Dict]
+    spans: List[Dict[str, Any]]
+
+
+#: A study job as shipped to a worker (everything here pickles).
+Job = Tuple[str, Tuple[int, ...], DBTConfig, CostModel, float, bool]
+
+
+def _study_worker(job: Job) -> WorkerOutput:
+    """Run one benchmark's study in a worker process."""
+    name, thresholds, config, costs, steps_scale, include_perf = job
+    # A forked worker inherits the parent's registry/trace contents (and
+    # a pool worker keeps state across jobs) — start each job clean so
+    # the returned state is exactly this benchmark's signals.
+    obsregistry.reset_metrics()
+    obsspans.clear_trace()
+    from .runner import study_benchmark  # late import: runner imports us
+
+    started = time.perf_counter()
+    benchmark = get_benchmark(name)
+    result = study_benchmark(benchmark, thresholds, config=config,
+                             costs=costs, steps_scale=steps_scale,
+                             include_perf=include_perf)
+    elapsed = time.perf_counter() - started
+    return WorkerOutput(name=name, result=result, seconds=elapsed,
+                        metrics=obsregistry.export_state(),
+                        spans=obsspans.trace_events())
+
+
+def run_benchmarks_parallel(
+        names: Sequence[str],
+        thresholds: Sequence[int],
+        config: DBTConfig,
+        costs: CostModel,
+        steps_scale: float,
+        include_perf: bool,
+        jobs: int,
+        on_done: Optional[Callable[[WorkerOutput], None]] = None,
+) -> Dict[str, WorkerOutput]:
+    """Fan ``study_benchmark`` jobs out across a process pool.
+
+    Args:
+        names: benchmarks to study (one job each).
+        jobs: worker processes (capped at ``len(names)``).
+        on_done: completion callback, called in finish order (progress
+            logging, incremental shard writes).
+
+    Returns every benchmark's :class:`WorkerOutput`; the caller merges
+    observability and orders results deterministically.
+    """
+    workers = min(jobs, len(names))
+    outputs: Dict[str, WorkerOutput] = {}
+    job_tail = (tuple(thresholds), config, costs, steps_scale, include_perf)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(_study_worker, (name,) + job_tail): name
+                   for name in names}
+        for future in as_completed(futures):
+            output = future.result()
+            outputs[output.name] = output
+            if on_done is not None:
+                on_done(output)
+    return outputs

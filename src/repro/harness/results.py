@@ -2,8 +2,18 @@
 
 A full-suite run is expensive (tens of millions of simulated block
 executions), so the harness distils each benchmark's study into a compact
-:class:`BenchmarkResult` of plain numbers, and persists the whole
-:class:`StudyResults` as JSON for reuse across benchmark invocations.
+:class:`BenchmarkResult` of plain numbers and persists it for reuse.
+
+Since format v6 the on-disk cache is *sharded*: each benchmark's result
+lives in its own ``shard-<bench>-<fingerprint>.json`` file (see
+:func:`save_shard`/:func:`load_shard`), and the run-level
+``study-<key>.json`` is a thin aggregate holding only the manifest and
+the shard index (:func:`save_aggregate`/:func:`load_aggregate`).  Adding
+a benchmark, changing the name subset, or resuming an interrupted run
+therefore only recomputes the missing shards.  v5 monolithic files fail
+the version check and are recomputed with a warning.  The monolithic
+:meth:`StudyResults.save`/:meth:`StudyResults.load` pair remains for
+exporting a whole result set as one file.
 """
 
 from __future__ import annotations
@@ -11,9 +21,9 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-_FORMAT_VERSION = 5
+_FORMAT_VERSION = 6
 
 
 @dataclass
@@ -113,6 +123,82 @@ class StudyResults:
         for name, data in payload["benchmarks"].items():
             results.benchmarks[name] = _result_from_dict(data)
         return results
+
+
+# -- shard + aggregate persistence (cache format v6) -------------------------
+
+
+def shard_filename(name: str, fingerprint: str) -> str:
+    """Cache filename of one benchmark's shard under a config fingerprint."""
+    return f"shard-{name}-{fingerprint}.json"
+
+
+def save_shard(path: str, result: BenchmarkResult, fingerprint: str,
+               seconds: float) -> None:
+    """Persist one benchmark's result as a cache shard.
+
+    ``seconds`` records the compute wall time so cached reloads can still
+    report what the original computation cost.
+    """
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    payload = {
+        "version": _FORMAT_VERSION,
+        "benchmark": result.name,
+        "fingerprint": fingerprint,
+        "seconds": seconds,
+        "result": _result_to_dict(result),
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f)
+
+
+def load_shard(path: str) -> Tuple[BenchmarkResult, float]:
+    """Read a shard written by :func:`save_shard`.
+
+    Raises :class:`ValueError` on a format-version mismatch and the usual
+    :class:`FileNotFoundError`/:class:`json.JSONDecodeError` on missing or
+    corrupt files.
+    """
+    with open(path) as f:
+        payload = json.load(f)
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"stale shard file (format v{payload.get('version')}, "
+            f"expected v{_FORMAT_VERSION})")
+    return _result_from_dict(payload["result"]), float(
+        payload.get("seconds") or 0.0)
+
+
+def save_aggregate(path: str, manifest: Optional[Dict],
+                   shard_files: Dict[str, str]) -> None:
+    """Persist the thin run-level aggregate: manifest + shard index."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    payload = {
+        "version": _FORMAT_VERSION,
+        "manifest": manifest,
+        "shards": shard_files,
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f)
+
+
+def load_aggregate(path: str) -> Tuple[Optional[Dict], Dict[str, str]]:
+    """Read an aggregate written by :func:`save_aggregate`.
+
+    Returns ``(manifest, {benchmark name: shard filename})``.  Raises
+    :class:`ValueError` on a format-version mismatch — v5 monolithic
+    ``study-*.json`` files land here and get recomputed.
+    """
+    with open(path) as f:
+        payload = json.load(f)
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"stale results file (format v{payload.get('version')}, "
+            f"expected v{_FORMAT_VERSION})")
+    shards = payload.get("shards")
+    if not isinstance(shards, dict):
+        raise ValueError("aggregate file has no shard index")
+    return payload.get("manifest"), shards
 
 
 def _intkeys(d: Dict) -> Dict[int, object]:

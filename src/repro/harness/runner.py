@@ -1,15 +1,23 @@
-"""Full-suite study runner with disk caching.
+"""Full-suite study runner with parallel fan-out and sharded caching.
 
-``run_full_study`` walks every benchmark once per input, sweeps the
-thresholds with the replay DBT, runs the §2 comparisons and the §4.4/§4.5
-models, and returns a :class:`~repro.harness.results.StudyResults`.  The
-result is cached on disk (keyed by a configuration fingerprint) so the
-eleven figure benchmarks and the CLI share one computation.
+``run_full_study`` walks every benchmark once per input, sweeps all the
+thresholds in a single replay pass, runs the §2 comparisons and the
+§4.4/§4.5 models, and returns a
+:class:`~repro.harness.results.StudyResults`.  Benchmarks are independent
+jobs, so with ``jobs > 1`` they fan out across a process pool (see
+:mod:`repro.harness.parallel`); workers ship their metrics and spans back
+to the parent, so observability output matches a serial run.
+
+Results are cached per benchmark: each ``(benchmark, configuration)``
+pair gets its own shard file keyed by a config fingerprint, plus a thin
+run-level aggregate holding the manifest and the shard index.  Adding a
+benchmark, changing the name subset, or resuming an interrupted run only
+recomputes the missing shards.
 
 Every run is instrumented through :mod:`repro.obs`: per-benchmark and
-per-stage spans, cache hit/miss/stale counters, and a run manifest
-(fingerprint, timings, metric snapshot) attached to the results and
-persisted with the cache.
+per-stage spans, cache hit/miss/stale counters (aggregate- and
+shard-level), and a run manifest (fingerprint, timings, metric snapshot)
+attached to the results and persisted with the cache.
 """
 
 from __future__ import annotations
@@ -18,42 +26,73 @@ import hashlib
 import json
 import os
 import time
-from typing import Dict, Iterable, Optional, Sequence
+from dataclasses import asdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.study import run_threshold_sweep
-from ..dbt.codecache import translation_map_from_replay
 from ..dbt.config import DBTConfig
 from ..dbt.replay import ReplayDBT
 from ..obs import log as obslog
 from ..obs.manifest import build_manifest
-from ..obs.registry import inc, observe
-from ..obs.spans import span
+from ..obs.registry import inc, merge_state, observe
+from ..obs.spans import extend_trace, span
 from ..perfmodel.costs import DEFAULT_COSTS, CostModel
 from ..perfmodel.execution import estimate_cost
 from ..workloads.spec import (BASE_THRESHOLD, SIM_THRESHOLDS,
                               SyntheticBenchmark, all_benchmarks,
                               get_benchmark)
-from .results import BenchmarkResult, PerfPoint, StudyResults
+from .parallel import (WorkerOutput, resolve_jobs, run_benchmarks_parallel)
+from .results import (BenchmarkResult, PerfPoint, StudyResults,
+                      load_aggregate, load_shard, save_aggregate,
+                      save_shard, shard_filename)
 
 #: Default on-disk cache location (project-relative).
-DEFAULT_CACHE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                                 "..", "..", "..", ".cache")
+DEFAULT_CACHE_DIR = os.path.normpath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 "..", "..", "..", ".cache"))
 
 _log = obslog.get_logger("repro.harness.runner")
+
+
+def _key_payload(thresholds: Sequence[int], config: DBTConfig,
+                 costs: CostModel, steps_scale: float,
+                 include_perf: bool) -> Dict:
+    """The normalised configuration dict behind every cache key.
+
+    Thresholds are sorted and config/cost dataclasses expanded into
+    explicit field dicts, so equivalent configurations always share a
+    fingerprint regardless of argument order or object identity.
+    """
+    return {
+        "thresholds": sorted(int(t) for t in thresholds),
+        "config": asdict(config),
+        "costs": asdict(costs),
+        "steps_scale": steps_scale,
+        "include_perf": include_perf,
+    }
+
+
+def _hash_payload(payload: Dict) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()[:16]
 
 
 def _fingerprint(names: Sequence[str], thresholds: Sequence[int],
                  config: DBTConfig, costs: CostModel,
                  steps_scale: float, include_perf: bool) -> str:
-    payload = json.dumps({
-        "names": list(names),
-        "thresholds": list(thresholds),
-        "config": config.__dict__,
-        "costs": costs.__dict__,
-        "steps_scale": steps_scale,
-        "include_perf": include_perf,
-    }, sort_keys=True, default=str)
-    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+    """Run-level cache key: the config payload plus the sorted name set."""
+    payload = _key_payload(thresholds, config, costs, steps_scale,
+                           include_perf)
+    payload["names"] = sorted(names)
+    return _hash_payload(payload)
+
+
+def _config_fingerprint(thresholds: Sequence[int], config: DBTConfig,
+                        costs: CostModel, steps_scale: float,
+                        include_perf: bool) -> str:
+    """Shard-level cache key: configuration only, shared by all names."""
+    return _hash_payload(_key_payload(thresholds, config, costs,
+                                      steps_scale, include_perf))
 
 
 def study_benchmark(benchmark: SyntheticBenchmark,
@@ -116,14 +155,16 @@ def study_benchmark(benchmark: SyntheticBenchmark,
                 perf_thresholds = sorted(set(thresholds) | {BASE_THRESHOLD})
                 for t in perf_thresholds:
                     if t in study.outcomes:
+                        # The sweep already replayed this threshold; its
+                        # cached translation map is reused as-is.
                         replay = study.outcomes[t].replay
                     else:
                         replay = ReplayDBT(ref_trace, benchmark.cfg,
                                            config.with_threshold(t),
                                            loops=loops)
-                        replay.run()
-                    tmap = translation_map_from_replay(replay)
-                    breakdown = estimate_cost(ref_trace, tmap, sizes, costs)
+                    breakdown = estimate_cost(ref_trace,
+                                              replay.translation_map(),
+                                              sizes, costs)
                     result.perf[t] = PerfPoint(
                         total=breakdown.total,
                         unoptimized=breakdown.unoptimized,
@@ -135,17 +176,30 @@ def study_benchmark(benchmark: SyntheticBenchmark,
     return result
 
 
-def _load_cached(cache_path: str, key: str) -> Optional[StudyResults]:
-    """Try the disk cache; count hits, misses and stale files."""
+def _load_cached(cache_dir: str, cache_path: str,
+                 key: str) -> Optional[StudyResults]:
+    """Try the aggregate + its shards; count hits, misses and stale files."""
     if not os.path.exists(cache_path):
         inc("cache.miss")
         _log.info("results cache miss", path=cache_path, fingerprint=key)
         return None
     try:
-        results = StudyResults.load(cache_path)
+        manifest, shard_files = load_aggregate(cache_path)
+        results = StudyResults(manifest=manifest)
+        for name, fname in shard_files.items():
+            result, _ = load_shard(os.path.join(cache_dir, fname))
+            results.benchmarks[name] = result
+    except FileNotFoundError as exc:
+        # The aggregate points at shards that are gone — not corruption;
+        # the per-shard path below reuses whatever still exists.
+        inc("cache.miss")
+        _log.info("aggregate incomplete, reusing remaining shards",
+                  path=cache_path, fingerprint=key, missing=str(exc))
+        return None
     except (ValueError, KeyError, json.JSONDecodeError) as exc:
         # A stale or corrupt cache file is recomputed, but never silently:
-        # it usually means the results format moved under an old cache.
+        # it usually means the results format moved under an old cache
+        # (v5 monolithic files land here too).
         inc("cache.stale")
         inc("cache.miss")
         _log.warning("stale results cache, recomputing", path=cache_path,
@@ -157,6 +211,26 @@ def _load_cached(cache_path: str, key: str) -> Optional[StudyResults]:
     return results
 
 
+def _load_shard_cached(cache_dir: str, name: str, confkey: str
+                       ) -> Optional[Tuple[BenchmarkResult, float]]:
+    """Try one benchmark's shard; count shard-level hits/misses/stales."""
+    path = os.path.join(cache_dir, shard_filename(name, confkey))
+    if not os.path.exists(path):
+        inc("cache.shard.miss")
+        return None
+    try:
+        result, seconds = load_shard(path)
+    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        inc("cache.shard.stale")
+        inc("cache.shard.miss")
+        _log.warning("stale shard cache, recomputing", path=path,
+                     bench=name, error=f"{exc.__class__.__name__}: {exc}")
+        return None
+    inc("cache.shard.hit")
+    _log.info("shard cache hit", path=path, bench=name)
+    return result, seconds
+
+
 def run_full_study(names: Optional[Iterable[str]] = None,
                    thresholds: Sequence[int] = SIM_THRESHOLDS,
                    config: Optional[DBTConfig] = None,
@@ -164,21 +238,28 @@ def run_full_study(names: Optional[Iterable[str]] = None,
                    steps_scale: float = 1.0,
                    include_perf: bool = True,
                    cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
-                   verbose: bool = False) -> StudyResults:
+                   verbose: bool = False,
+                   jobs: Optional[int] = None) -> StudyResults:
     """Run (or load from cache) the full evaluation study.
 
-    With the default arguments this reproduces every figure's raw data for
-    the whole 26-benchmark suite — a few minutes of simulation on first
-    run, instant afterwards thanks to the JSON cache.
+    With the default arguments this reproduces every figure's raw data
+    for the whole 26-benchmark suite, fanned out across all CPUs and
+    served shard-by-shard from the JSON cache on repeat runs.
 
-    ``verbose=True`` emits per-benchmark progress through the structured
-    logger (auto-configured at info level if :func:`repro.obs.configure`
-    has not been called yet).
+    Args:
+        jobs: worker processes for the per-benchmark fan-out (default:
+            the ``REPRO_JOBS`` environment variable, else every CPU).
+            ``jobs=1`` keeps everything in-process; any value produces
+            bit-identical results.
+        verbose: emit per-benchmark progress through the structured
+            logger (auto-configured at info level if
+            :func:`repro.obs.configure` has not been called yet).
     """
     config = config or DBTConfig()
     if names is None:
         names = [b.name for b in all_benchmarks()]
     names = list(names)
+    jobs = resolve_jobs(jobs)
 
     if verbose and not obslog.is_configured():
         obslog.configure(level="info")
@@ -187,33 +268,81 @@ def run_full_study(names: Optional[Iterable[str]] = None,
                        include_perf)
     cache_path = None
     if cache_dir is not None:
+        cache_dir = os.path.normpath(cache_dir)
         cache_path = os.path.join(cache_dir, f"study-{key}.json")
-        cached = _load_cached(cache_path, key)
+        cached = _load_cached(cache_dir, cache_path, key)
         if cached is not None:
             return cached
 
-    results = StudyResults()
+    confkey = _config_fingerprint(thresholds, config, costs, steps_scale,
+                                  include_perf)
+    collected: Dict[str, BenchmarkResult] = {}
     timings: Dict[str, float] = {}
+    cached_names: List[str] = []
     study_started = time.perf_counter()
-    with span("full_study", benchmarks=len(names), fingerprint=key):
+    with span("full_study", benchmarks=len(names), fingerprint=key,
+              jobs=jobs):
+        pending: List[str] = []
         for name in names:
-            started = time.perf_counter()
-            benchmark = get_benchmark(name)
-            results.benchmarks[name] = study_benchmark(
-                benchmark, thresholds, config=config, costs=costs,
-                steps_scale=steps_scale, include_perf=include_perf)
-            elapsed = time.perf_counter() - started
-            timings[name] = round(elapsed, 3)
-            observe("study.benchmark_seconds", elapsed)
+            loaded = None
+            if cache_dir is not None:
+                loaded = _load_shard_cached(cache_dir, name, confkey)
+            if loaded is not None:
+                collected[name], seconds = loaded
+                timings[name] = round(seconds, 3)
+                cached_names.append(name)
+            else:
+                pending.append(name)
+
+        def _absorb(name: str, result: BenchmarkResult,
+                    seconds: float) -> None:
+            collected[name] = result
+            timings[name] = round(seconds, 3)
+            observe("study.benchmark_seconds", seconds)
             _log.info("benchmark done", bench=name,
-                      seconds=round(elapsed, 1))
+                      seconds=round(seconds, 1))
+            if cache_dir is not None:
+                shard_path = os.path.join(cache_dir,
+                                          shard_filename(name, confkey))
+                save_shard(shard_path, result, confkey,
+                           round(seconds, 3))
+
+        if jobs > 1 and len(pending) > 1:
+            def _on_done(output: WorkerOutput) -> None:
+                _log.info("worker finished", bench=output.name,
+                          seconds=round(output.seconds, 1))
+
+            outputs = run_benchmarks_parallel(
+                pending, thresholds, config, costs, steps_scale,
+                include_perf, jobs, on_done=_on_done)
+            for name in pending:  # deterministic merge order
+                output = outputs[name]
+                merge_state(output.metrics)
+                extend_trace(output.spans)
+                _absorb(name, output.result, output.seconds)
+        else:
+            for name in pending:
+                started = time.perf_counter()
+                benchmark = get_benchmark(name)
+                result = study_benchmark(
+                    benchmark, thresholds, config=config, costs=costs,
+                    steps_scale=steps_scale, include_perf=include_perf)
+                _absorb(name, result, time.perf_counter() - started)
     total = time.perf_counter() - study_started
 
+    results = StudyResults()
+    for name in names:
+        results.benchmarks[name] = collected[name]
     results.manifest = build_manifest(
         fingerprint=key, names=names, thresholds=thresholds, config=config,
         steps_scale=steps_scale, include_perf=include_perf,
-        timings=timings, total_seconds=round(total, 3))
+        timings=timings, total_seconds=round(total, 3),
+        extra={"jobs": jobs, "cached_benchmarks": cached_names,
+               "config_fingerprint": confkey})
     if cache_path is not None:
-        results.save(cache_path)
-        _log.info("results cached", path=cache_path, fingerprint=key)
+        save_aggregate(cache_path, results.manifest,
+                       {name: shard_filename(name, confkey)
+                        for name in names})
+        _log.info("results cached", path=cache_path, fingerprint=key,
+                  shards=len(names), reused=len(cached_names))
     return results

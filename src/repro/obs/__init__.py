@@ -25,16 +25,18 @@ from .log import StructuredLogger, configure, get_logger
 from .manifest import build_manifest, render_manifest
 from .registry import (Counter, Gauge, Histogram, MetricsRegistry,
                        counter_value, disable, enable, enabled,
-                       get_registry, inc, metrics_snapshot, observe,
-                       reset_metrics, set_gauge, write_metrics)
-from .spans import (clear_trace, current_span, span, trace_events,
-                    write_trace)
+                       export_state, get_registry, inc, merge_state,
+                       metrics_snapshot, observe, reset_metrics, set_gauge,
+                       write_metrics)
+from .spans import (clear_trace, current_span, extend_trace, span,
+                    trace_events, write_trace)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "StructuredLogger", "build_manifest", "clear_trace", "configure",
     "counter_value", "current_span", "disable", "enable", "enabled",
-    "get_logger", "get_registry", "inc", "metrics_snapshot", "observe",
-    "render_manifest", "reset_metrics", "set_gauge", "span",
-    "trace_events", "write_metrics", "write_trace",
+    "export_state", "extend_trace", "get_logger", "get_registry", "inc",
+    "merge_state", "metrics_snapshot", "observe", "render_manifest",
+    "reset_metrics", "set_gauge", "span", "trace_events", "write_metrics",
+    "write_trace",
 ]

@@ -74,12 +74,16 @@ def render_manifest(manifest: Optional[Dict[str, Any]]) -> str:
                "observability layer)"
     lines = ["run manifest"]
     for key in ("fingerprint", "repro_version", "created_at", "python",
-                "steps_scale", "include_perf", "total_seconds"):
+                "steps_scale", "include_perf", "total_seconds", "jobs"):
         if manifest.get(key) is not None:
             lines.append(f"  {key:15s} {manifest[key]}")
     benchmarks = manifest.get("benchmarks") or []
     lines.append(f"  {'benchmarks':15s} {len(benchmarks)}: "
                  f"{' '.join(benchmarks)}")
+    cached = manifest.get("cached_benchmarks")
+    if cached is not None:
+        lines.append(f"  {'from cache':15s} {len(cached)}: "
+                     f"{' '.join(cached)}")
     timings = manifest.get("timings") or {}
     if timings:
         lines.append("  timings (s), slowest first:")

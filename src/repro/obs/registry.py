@@ -143,6 +143,38 @@ class MetricsRegistry:
                            for n, h in sorted(self._histograms.items())},
         }
 
+    def export_state(self) -> Dict[str, Dict]:
+        """Lossless dump for cross-process merging.
+
+        Unlike :meth:`snapshot`, histograms keep their raw observations,
+        so a parent registry can merge a worker's state and still compute
+        exact percentiles over the union.
+        """
+        return {
+            "counters": {n: c.value
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: list(h._values)
+                           for n, h in sorted(self._histograms.items())},
+        }
+
+    def merge_state(self, state: Dict[str, Dict]) -> None:
+        """Fold an :meth:`export_state` dump into this registry.
+
+        Counters add, gauges last-write-win, histogram observations
+        append — the result is indistinguishable from the worker having
+        recorded into this registry directly.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, values in state.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            for value in values:
+                histogram.observe(value)
+
     def reset(self) -> None:
         """Drop every instrument (tests and fresh runs)."""
         with self._lock:
@@ -205,6 +237,16 @@ def counter_value(name: str) -> Number:
 def metrics_snapshot() -> Dict[str, Dict]:
     """Snapshot of the global registry."""
     return _DEFAULT.snapshot()
+
+
+def export_state() -> Dict[str, Dict]:
+    """Lossless dump of the global registry (for worker → parent merge)."""
+    return _DEFAULT.export_state()
+
+
+def merge_state(state: Dict[str, Dict]) -> None:
+    """Fold a worker's :func:`export_state` dump into the global registry."""
+    _DEFAULT.merge_state(state)
 
 
 def reset_metrics() -> None:

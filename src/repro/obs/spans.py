@@ -129,6 +129,20 @@ def clear_trace() -> None:
         _EVENTS.clear()
 
 
+def extend_trace(events: List[Dict[str, Any]]) -> None:
+    """Append externally produced span events (worker → parent merge).
+
+    Worker processes forked before their first span share this module's
+    :data:`_EPOCH`, so their timestamps land on the parent's timeline and
+    the merged file still renders as one coherent Chrome trace (each
+    worker keeps its own ``pid`` lane).  The buffer cap applies.
+    """
+    with _EVENTS_LOCK:
+        room = MAX_TRACE_EVENTS - len(_EVENTS)
+        if room > 0:
+            _EVENTS.extend(events[:room])
+
+
 def write_trace(path: str) -> None:
     """Write the buffered spans as Chrome trace JSON to ``path``."""
     parent = os.path.dirname(os.path.abspath(path))

@@ -82,7 +82,10 @@ def test_cache_key_distinguishes_configs(tmp_path):
     run_full_study(names=["art"], thresholds=[500], steps_scale=0.02,
                    include_perf=False, cache_dir=cache_dir)
     import os
-    assert len(os.listdir(cache_dir)) == 2
+    files = os.listdir(cache_dir)
+    # Each config gets its own aggregate and its own per-benchmark shard.
+    assert len([f for f in files if f.startswith("study-")]) == 2
+    assert len([f for f in files if f.startswith("shard-art-")]) == 2
 
 
 def test_steps_scale_does_not_mutate_benchmark():

@@ -120,3 +120,40 @@ def test_write_metrics(tmp_path):
 def test_registry_isolated_from_global(registry):
     registry.counter("test.isolated").inc()
     assert "test.isolated" not in reg.metrics_snapshot()["counters"]
+
+
+def test_export_state_keeps_raw_histogram_values(registry):
+    registry.counter("c").inc(3)
+    registry.gauge("g").set(0.5)
+    registry.histogram("h").observe(1.0)
+    registry.histogram("h").observe(3.0)
+    state = registry.export_state()
+    assert state["counters"]["c"] == 3
+    assert state["gauges"]["g"] == 0.5
+    assert state["histograms"]["h"] == [1.0, 3.0]
+
+
+def test_merge_state_is_lossless(registry):
+    worker = MetricsRegistry()
+    worker.counter("c").inc(2)
+    worker.gauge("g").set(7)
+    worker.histogram("h").observe(10.0)
+
+    registry.counter("c").inc(1)
+    registry.histogram("h").observe(2.0)
+    registry.merge_state(worker.export_state())
+
+    assert registry.counter("c").value == 3
+    assert registry.gauge("g").value == 7
+    # Percentiles are computed over the union of observations.
+    assert registry.histogram("h").summary()["max"] == 10.0
+    assert registry.histogram("h").count == 2
+
+
+def test_merge_state_twice_accumulates(registry):
+    worker = MetricsRegistry()
+    worker.counter("c").inc(5)
+    state = worker.export_state()
+    registry.merge_state(state)
+    registry.merge_state(state)
+    assert registry.counter("c").value == 10

@@ -105,3 +105,17 @@ def test_spans_are_thread_local():
     assert seen["inner"] == "test.thread"
     (event,) = _events_named("test.thread")
     assert event["args"]["depth"] == 0
+
+
+def test_extend_trace_appends_foreign_events():
+    from repro.obs.spans import extend_trace, trace_events
+
+    clear_trace()
+    with span("test.local"):
+        pass
+    foreign = [{"name": "test.foreign", "cat": "repro", "ph": "X",
+                "ts": 1.0, "dur": 2.0, "pid": 999, "tid": 1, "args": {}}]
+    extend_trace(foreign)
+    names = [e["name"] for e in trace_events()]
+    assert "test.local" in names
+    assert "test.foreign" in names
