@@ -24,6 +24,25 @@ from .paper_example import compute_example
 from .runner import DEFAULT_CACHE_DIR, run_full_study
 from .tables import render
 
+#: Exit code when the study completed but quarantined benchmarks —
+#: distinct from success (0) and usage errors (2) so callers can tell a
+#: degraded-but-useful run from a broken invocation.
+EXIT_QUARANTINE = 3
+
+
+def _report_quarantine(results) -> int:
+    """Print quarantined benchmarks to stderr; the distinct exit code."""
+    failed = (results.manifest or {}).get("failed_benchmarks") or {}
+    if not failed:
+        return 0
+    for name, info in sorted(failed.items()):
+        print(f"quarantined: {name} ({info['reason']} after "
+              f"{info['attempts']} attempts): {info['error']}",
+              file=sys.stderr)
+    print(f"{len(failed)} benchmark(s) quarantined; figures cover the "
+          f"remaining benchmarks only", file=sys.stderr)
+    return EXIT_QUARANTINE
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
@@ -49,6 +68,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "fan-out (default: $REPRO_JOBS, else all "
                              "CPUs; 1 = serial; results are identical "
                              "for any N)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="per-benchmark retry budget for crashed or "
+                             "failing jobs (default: $REPRO_RETRIES, "
+                             "else 2; 0 disables retries)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill and quarantine any benchmark still "
+                             "running after this long (default: "
+                             "$REPRO_JOB_TIMEOUT, else unlimited; "
+                             "needs --jobs >= 2)")
     parser.add_argument("--verbose", action="store_true",
                         help="print per-benchmark progress")
     parser.add_argument("--summary", metavar="BENCH", default=None,
@@ -97,7 +126,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                              steps_scale=0.1 if args.quick else 1.0,
                              include_perf=not args.no_perf,
                              use_cache=not args.no_cache,
-                             jobs=args.jobs)
+                             jobs=args.jobs, retries=args.retries,
+                             job_timeout=args.job_timeout)
     if args.figures:
         wanted = args.figures
     else:
@@ -128,7 +158,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         include_perf=not args.no_perf,
         cache_dir=cache_dir,
         verbose=args.verbose,
-        jobs=args.jobs)
+        jobs=args.jobs,
+        retries=args.retries,
+        job_timeout=args.job_timeout)
 
     for number in wanted:
         builder = FIGURES.get(number)
@@ -148,12 +180,14 @@ def _dispatch(args: argparse.Namespace) -> int:
                 f.write(to_csv(table))
     if args.stats:
         print(render_manifest(results.manifest))
-    return 0
+    return _report_quarantine(results)
 
 
 def print_summary(name: str, steps_scale: float = 1.0,
                   include_perf: bool = True, use_cache: bool = True,
-                  jobs: Optional[int] = None) -> int:
+                  jobs: Optional[int] = None,
+                  retries: Optional[int] = None,
+                  job_timeout: Optional[float] = None) -> int:
     """Print one benchmark's complete study card."""
     from ..workloads.spec import nominal_label
     from .tables import Table
@@ -165,7 +199,9 @@ def print_summary(name: str, steps_scale: float = 1.0,
         names=[name], thresholds=SIM_THRESHOLDS, steps_scale=steps_scale,
         include_perf=include_perf,
         cache_dir=DEFAULT_CACHE_DIR if use_cache else None,
-        jobs=jobs)
+        jobs=jobs, retries=retries, job_timeout=job_timeout)
+    if name not in results.benchmarks:
+        return _report_quarantine(results)
     result = results.benchmarks[name]
 
     print(f"{name} ({result.suite.upper()}): training reference "

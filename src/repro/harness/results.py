@@ -23,7 +23,21 @@ import os
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..ioutil import atomic_write_text
+from . import faults
+
 _FORMAT_VERSION = 6
+
+
+def _write_json(path: str, payload: Dict) -> None:
+    """Crash-safe JSON write (temp file + rename, see :mod:`repro.ioutil`).
+
+    An interrupted writer — ``kill -9``, OOM, power loss — must never
+    leave a truncated file behind that a later run fails to load; the
+    ``tear`` hook lets the fault-injection harness prove exactly that.
+    """
+    atomic_write_text(path, json.dumps(payload),
+                      tear=faults.should_tear_write())
 
 
 @dataclass
@@ -66,12 +80,19 @@ class BenchmarkResult:
     num_regions: Dict[int, int] = field(default_factory=dict)
     perf: Dict[int, PerfPoint] = field(default_factory=dict)
 
-    def perf_relative(self, base_threshold: int = 1) -> Dict[int, float]:
-        """Figure 17 normalisation: ``cost(base)/cost(T)`` per threshold."""
+    def perf_relative(self, base_threshold: int = 1
+                      ) -> Dict[int, Optional[float]]:
+        """Figure 17 normalisation: ``cost(base)/cost(T)`` per threshold.
+
+        A degenerate perf point with ``total == 0`` (nothing executed)
+        maps to ``None`` — "nothing to compare" — rather than dividing
+        by zero.
+        """
         if base_threshold not in self.perf:
             raise KeyError(f"no perf point for base {base_threshold}")
         base = self.perf[base_threshold].total
-        return {t: base / p.total for t, p in self.perf.items()}
+        return {t: (base / p.total if p.total else None)
+                for t, p in self.perf.items()}
 
 
 @dataclass
@@ -101,16 +122,14 @@ class StudyResults:
     # -- persistence -------------------------------------------------------------
 
     def save(self, path: str) -> None:
-        """Write results as JSON (creating parent directories)."""
-        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        """Write results as JSON, atomically (creating parent dirs)."""
         payload = {
             "version": _FORMAT_VERSION,
             "manifest": self.manifest,
             "benchmarks": {name: _result_to_dict(result)
                            for name, result in self.benchmarks.items()},
         }
-        with open(path, "w") as f:
-            json.dump(payload, f)
+        _write_json(path, payload)
 
     @classmethod
     def load(cls, path: str) -> "StudyResults":
@@ -138,9 +157,9 @@ def save_shard(path: str, result: BenchmarkResult, fingerprint: str,
     """Persist one benchmark's result as a cache shard.
 
     ``seconds`` records the compute wall time so cached reloads can still
-    report what the original computation cost.
+    report what the original computation cost.  The write is atomic: an
+    interrupted run never leaves a truncated shard behind.
     """
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
     payload = {
         "version": _FORMAT_VERSION,
         "benchmark": result.name,
@@ -148,14 +167,21 @@ def save_shard(path: str, result: BenchmarkResult, fingerprint: str,
         "seconds": seconds,
         "result": _result_to_dict(result),
     }
-    with open(path, "w") as f:
-        json.dump(payload, f)
+    _write_json(path, payload)
 
 
-def load_shard(path: str) -> Tuple[BenchmarkResult, float]:
+def load_shard(path: str, expect_name: Optional[str] = None,
+               expect_fingerprint: Optional[str] = None
+               ) -> Tuple[BenchmarkResult, float]:
     """Read a shard written by :func:`save_shard`.
 
-    Raises :class:`ValueError` on a format-version mismatch and the usual
+    When ``expect_name``/``expect_fingerprint`` are given, the payload's
+    own ``benchmark`` and ``fingerprint`` fields must match — the
+    filename alone is never trusted, so a mis-filed or hand-copied shard
+    cannot smuggle the wrong benchmark's numbers into a run.  Mismatches
+    raise :class:`ValueError`, which callers treat as a stale shard
+    (``cache.shard.stale``).  Also raises :class:`ValueError` on a
+    format-version mismatch and the usual
     :class:`FileNotFoundError`/:class:`json.JSONDecodeError` on missing or
     corrupt files.
     """
@@ -165,21 +191,36 @@ def load_shard(path: str) -> Tuple[BenchmarkResult, float]:
         raise ValueError(
             f"stale shard file (format v{payload.get('version')}, "
             f"expected v{_FORMAT_VERSION})")
-    return _result_from_dict(payload["result"]), float(
-        payload.get("seconds") or 0.0)
+    if expect_name is not None and payload.get("benchmark") != expect_name:
+        raise ValueError(
+            f"shard benchmark mismatch: payload says "
+            f"{payload.get('benchmark')!r}, expected {expect_name!r}")
+    if (expect_fingerprint is not None
+            and payload.get("fingerprint") != expect_fingerprint):
+        raise ValueError(
+            f"shard fingerprint mismatch: payload says "
+            f"{payload.get('fingerprint')!r}, expected "
+            f"{expect_fingerprint!r}")
+    result = _result_from_dict(payload["result"])
+    if expect_name is not None and result.name != expect_name:
+        raise ValueError(
+            f"shard result mismatch: result is for {result.name!r}, "
+            f"expected {expect_name!r}")
+    return result, float(payload.get("seconds") or 0.0)
 
 
 def save_aggregate(path: str, manifest: Optional[Dict],
                    shard_files: Dict[str, str]) -> None:
-    """Persist the thin run-level aggregate: manifest + shard index."""
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    """Persist the thin run-level aggregate: manifest + shard index.
+
+    The write is atomic, like every cache write in this module.
+    """
     payload = {
         "version": _FORMAT_VERSION,
         "manifest": manifest,
         "shards": shard_files,
     }
-    with open(path, "w") as f:
-        json.dump(payload, f)
+    _write_json(path, payload)
 
 
 def load_aggregate(path: str) -> Tuple[Optional[Dict], Dict[str, str]]:

@@ -39,9 +39,11 @@ from ..obs.spans import extend_trace, span
 from ..perfmodel.costs import DEFAULT_COSTS, CostModel
 from ..perfmodel.execution import estimate_cost
 from ..workloads.spec import (BASE_THRESHOLD, SIM_THRESHOLDS,
-                              SyntheticBenchmark, all_benchmarks,
-                              get_benchmark)
-from .parallel import (WorkerOutput, resolve_jobs, run_benchmarks_parallel)
+                              SyntheticBenchmark, all_benchmarks)
+from .faults import (FaultPlan, resolve_job_timeout, resolve_retries,
+                     set_active_plan)
+from .parallel import (RetryPolicy, WorkerOutput, dedupe_names,
+                       dispatch_study_jobs, resolve_jobs)
 from .results import (BenchmarkResult, PerfPoint, StudyResults,
                       load_aggregate, load_shard, save_aggregate,
                       save_shard, shard_filename)
@@ -176,9 +178,14 @@ def study_benchmark(benchmark: SyntheticBenchmark,
     return result
 
 
-def _load_cached(cache_dir: str, cache_path: str,
-                 key: str) -> Optional[StudyResults]:
-    """Try the aggregate + its shards; count hits, misses and stale files."""
+def _load_cached(cache_dir: str, cache_path: str, key: str,
+                 confkey: str) -> Optional[StudyResults]:
+    """Try the aggregate + its shards; count hits, misses and stale files.
+
+    Every shard is validated against the benchmark name and config
+    fingerprint it is expected to hold — the aggregate's index (like the
+    filename) is never trusted on its own.
+    """
     if not os.path.exists(cache_path):
         inc("cache.miss")
         _log.info("results cache miss", path=cache_path, fingerprint=key)
@@ -187,7 +194,9 @@ def _load_cached(cache_dir: str, cache_path: str,
         manifest, shard_files = load_aggregate(cache_path)
         results = StudyResults(manifest=manifest)
         for name, fname in shard_files.items():
-            result, _ = load_shard(os.path.join(cache_dir, fname))
+            result, _ = load_shard(os.path.join(cache_dir, fname),
+                                   expect_name=name,
+                                   expect_fingerprint=confkey)
             results.benchmarks[name] = result
     except FileNotFoundError as exc:
         # The aggregate points at shards that are gone — not corruption;
@@ -219,7 +228,8 @@ def _load_shard_cached(cache_dir: str, name: str, confkey: str
         inc("cache.shard.miss")
         return None
     try:
-        result, seconds = load_shard(path)
+        result, seconds = load_shard(path, expect_name=name,
+                                     expect_fingerprint=confkey)
     except (ValueError, KeyError, json.JSONDecodeError) as exc:
         inc("cache.shard.stale")
         inc("cache.shard.miss")
@@ -239,18 +249,32 @@ def run_full_study(names: Optional[Iterable[str]] = None,
                    include_perf: bool = True,
                    cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
                    verbose: bool = False,
-                   jobs: Optional[int] = None) -> StudyResults:
+                   jobs: Optional[int] = None,
+                   retries: Optional[int] = None,
+                   job_timeout: Optional[float] = None) -> StudyResults:
     """Run (or load from cache) the full evaluation study.
 
     With the default arguments this reproduces every figure's raw data
     for the whole 26-benchmark suite, fanned out across all CPUs and
     served shard-by-shard from the JSON cache on repeat runs.
 
+    The run survives worker failure: crashed jobs are retried with
+    exponential backoff (the pool is rebuilt and only lost jobs are
+    resubmitted), hung jobs are killed after ``job_timeout`` seconds,
+    and benchmarks that exhaust their budget are *quarantined* — the
+    study completes without them and lists them under
+    ``manifest["failed_benchmarks"]`` instead of aborting.
+
     Args:
         jobs: worker processes for the per-benchmark fan-out (default:
             the ``REPRO_JOBS`` environment variable, else every CPU).
             ``jobs=1`` keeps everything in-process; any value produces
             bit-identical results.
+        retries: per-benchmark retry budget for crashed or failing jobs
+            (default: ``$REPRO_RETRIES``, else 2).
+        job_timeout: seconds before an in-flight job is declared hung
+            and quarantined (default: ``$REPRO_JOB_TIMEOUT``, else
+            unlimited; enforced only with ``jobs > 1``).
         verbose: emit per-benchmark progress through the structured
             logger (auto-configured at info level if
             :func:`repro.obs.configure` has not been called yet).
@@ -258,27 +282,44 @@ def run_full_study(names: Optional[Iterable[str]] = None,
     config = config or DBTConfig()
     if names is None:
         names = [b.name for b in all_benchmarks()]
-    names = list(names)
+    names = dedupe_names(list(names))
     jobs = resolve_jobs(jobs)
+    policy = RetryPolicy(retries=resolve_retries(retries),
+                         job_timeout=resolve_job_timeout(job_timeout))
 
     if verbose and not obslog.is_configured():
         obslog.configure(level="info")
 
     key = _fingerprint(names, thresholds, config, costs, steps_scale,
                        include_perf)
+    confkey = _config_fingerprint(thresholds, config, costs, steps_scale,
+                                  include_perf)
     cache_path = None
     if cache_dir is not None:
         cache_dir = os.path.normpath(cache_dir)
         cache_path = os.path.join(cache_dir, f"study-{key}.json")
-        cached = _load_cached(cache_dir, cache_path, key)
+        cached = _load_cached(cache_dir, cache_path, key, confkey)
         if cached is not None:
             return cached
 
-    confkey = _config_fingerprint(thresholds, config, costs, steps_scale,
-                                  include_perf)
+    plan = FaultPlan.from_env()
+    set_active_plan(plan)
+    try:
+        return _compute_study(
+            names, thresholds, config, costs, steps_scale, include_perf,
+            cache_dir, cache_path, key, confkey, jobs, policy, plan)
+    finally:
+        set_active_plan(None)
+
+
+def _compute_study(names, thresholds, config, costs, steps_scale,
+                   include_perf, cache_dir, cache_path, key, confkey,
+                   jobs, policy, plan) -> StudyResults:
+    """The cache-miss path of :func:`run_full_study`."""
     collected: Dict[str, BenchmarkResult] = {}
     timings: Dict[str, float] = {}
     cached_names: List[str] = []
+    failures: Dict = {}
     study_started = time.perf_counter()
     with span("full_study", benchmarks=len(names), fingerprint=key,
               jobs=jobs):
@@ -294,55 +335,62 @@ def run_full_study(names: Optional[Iterable[str]] = None,
             else:
                 pending.append(name)
 
-        def _absorb(name: str, result: BenchmarkResult,
-                    seconds: float) -> None:
-            collected[name] = result
-            timings[name] = round(seconds, 3)
-            observe("study.benchmark_seconds", seconds)
-            _log.info("benchmark done", bench=name,
-                      seconds=round(seconds, 1))
+        def _absorb(output: WorkerOutput) -> None:
+            # Runs in the parent in completion order: shards hit disk as
+            # soon as a benchmark finishes, so an interrupted (or
+            # quarantine-ridden) run resumes from every completed shard.
+            collected[output.name] = output.result
+            timings[output.name] = round(output.seconds, 3)
+            observe("study.benchmark_seconds", output.seconds)
+            _log.info("benchmark done", bench=output.name,
+                      seconds=round(output.seconds, 1))
             if cache_dir is not None:
-                shard_path = os.path.join(cache_dir,
-                                          shard_filename(name, confkey))
-                save_shard(shard_path, result, confkey,
-                           round(seconds, 3))
+                shard_path = os.path.join(
+                    cache_dir, shard_filename(output.name, confkey))
+                save_shard(shard_path, output.result, confkey,
+                           round(output.seconds, 3))
 
-        if jobs > 1 and len(pending) > 1:
-            def _on_done(output: WorkerOutput) -> None:
-                _log.info("worker finished", bench=output.name,
-                          seconds=round(output.seconds, 1))
-
-            outputs = run_benchmarks_parallel(
+        if pending:
+            dispatch = dispatch_study_jobs(
                 pending, thresholds, config, costs, steps_scale,
-                include_perf, jobs, on_done=_on_done)
+                include_perf, jobs=jobs, policy=policy, plan=plan,
+                on_output=_absorb)
+            failures = dispatch.failures
             for name in pending:  # deterministic merge order
-                output = outputs[name]
-                merge_state(output.metrics)
-                extend_trace(output.spans)
-                _absorb(name, output.result, output.seconds)
-        else:
-            for name in pending:
-                started = time.perf_counter()
-                benchmark = get_benchmark(name)
-                result = study_benchmark(
-                    benchmark, thresholds, config=config, costs=costs,
-                    steps_scale=steps_scale, include_perf=include_perf)
-                _absorb(name, result, time.perf_counter() - started)
+                output = dispatch.outputs.get(name)
+                if output is not None:
+                    merge_state(output.metrics)
+                    extend_trace(output.spans)
     total = time.perf_counter() - study_started
 
     results = StudyResults()
     for name in names:
-        results.benchmarks[name] = collected[name]
+        if name in collected:
+            results.benchmarks[name] = collected[name]
     results.manifest = build_manifest(
         fingerprint=key, names=names, thresholds=thresholds, config=config,
         steps_scale=steps_scale, include_perf=include_perf,
         timings=timings, total_seconds=round(total, 3),
         extra={"jobs": jobs, "cached_benchmarks": cached_names,
-               "config_fingerprint": confkey})
+               "config_fingerprint": confkey,
+               "retries": policy.retries,
+               "job_timeout": policy.job_timeout,
+               "failed_benchmarks": {
+                   name: asdict(failure)
+                   for name, failure in sorted(failures.items())}})
     if cache_path is not None:
-        save_aggregate(cache_path, results.manifest,
-                       {name: shard_filename(name, confkey)
-                        for name in names})
-        _log.info("results cached", path=cache_path, fingerprint=key,
-                  shards=len(names), reused=len(cached_names))
+        if failures:
+            # An aggregate indexing only the surviving shards would make
+            # the next identical run a silent "hit" that never retries
+            # the quarantined benchmarks — leave it unwritten; the
+            # per-benchmark shards already persist the completed work.
+            _log.warning("aggregate not written: run has quarantined "
+                         "benchmarks", path=cache_path,
+                         failed=sorted(failures))
+        else:
+            save_aggregate(cache_path, results.manifest,
+                           {name: shard_filename(name, confkey)
+                            for name in names})
+            _log.info("results cached", path=cache_path, fingerprint=key,
+                      shards=len(names), reused=len(cached_names))
     return results

@@ -1,0 +1,50 @@
+"""Crash-safe file writes shared by the cache and observability exports.
+
+A process can die at any instruction — ``kill -9``, OOM, a crashed
+worker taking the parent down — and a JSON file written in place with
+``open(path, "w")`` then becomes a truncated fragment that every later
+reader chokes on.  :func:`atomic_write_text` closes that window: the
+bytes go to a temporary file in the *same directory* (so the final
+rename never crosses a filesystem), are flushed and fsynced, and only
+then renamed over the destination with :func:`os.replace`, which POSIX
+and NT both guarantee to be atomic.  A reader therefore observes either
+the complete old content or the complete new content, never a tear.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_text(path: str, text: str, tear: bool = False) -> None:
+    """Write ``text`` to ``path`` so readers never see a torn file.
+
+    Parent directories are created as needed.  ``tear=True`` is the
+    fault-injection seam used by the test suite and
+    :mod:`repro.harness.faults`: the write stops partway through the
+    temporary file and the rename never happens — exactly the debris a
+    ``kill -9`` mid-write leaves behind.  The destination is untouched
+    either way, which is the property under test.
+    """
+    path = os.path.abspath(path)
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(path) + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as f:
+            if tear:
+                f.write(text[:max(1, len(text) // 3)])
+                return
+            f.write(text)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -255,9 +255,6 @@ def reset_metrics() -> None:
 
 
 def write_metrics(path: str) -> None:
-    """Write the global snapshot as JSON to ``path``."""
-    parent = os.path.dirname(os.path.abspath(path))
-    os.makedirs(parent, exist_ok=True)
-    with open(path, "w") as f:
-        json.dump(metrics_snapshot(), f, indent=2)
-        f.write("\n")
+    """Write the global snapshot as JSON to ``path`` (atomically)."""
+    from ..ioutil import atomic_write_text
+    atomic_write_text(path, json.dumps(metrics_snapshot(), indent=2) + "\n")

@@ -144,10 +144,7 @@ def extend_trace(events: List[Dict[str, Any]]) -> None:
 
 
 def write_trace(path: str) -> None:
-    """Write the buffered spans as Chrome trace JSON to ``path``."""
-    parent = os.path.dirname(os.path.abspath(path))
-    os.makedirs(parent, exist_ok=True)
+    """Write the buffered spans as Chrome trace JSON (atomically)."""
+    from ..ioutil import atomic_write_text
     payload = {"traceEvents": trace_events(), "displayTimeUnit": "ms"}
-    with open(path, "w") as f:
-        json.dump(payload, f)
-        f.write("\n")
+    atomic_write_text(path, json.dumps(payload) + "\n")
