@@ -1,0 +1,39 @@
+"""Static analysis: dataflow framework + semantic verifier.
+
+Two layers:
+
+* **framework** — the classic analyses over VIR/CFGs that the verifier
+  (and future optimisations) build on: dominators and post-dominators
+  (:mod:`repro.analysis.dominators`), loop-nest forests and
+  irreducibility (:mod:`repro.analysis.loops`), liveness and reaching
+  definitions (:mod:`repro.analysis.dataflow`);
+* **verifier** — semantic lint of every artefact the study pipeline
+  produces (:mod:`repro.analysis.verify`), plus differential
+  verification of the optimisation passes
+  (:mod:`repro.analysis.passcheck`) and the standalone
+  ``python -m repro.analysis`` lint CLI (:mod:`repro.analysis.cli`).
+
+See ``docs/analysis.md`` for the rule table and severity model.
+"""
+
+from .dataflow import (Definition, IterativeDataflow, Liveness,
+                       ReachingDefinitions, liveness, reaching_definitions)
+from .dominators import (GenericDominators, PostDominatorTree,
+                         compute_post_dominators)
+from .loops import FunctionLoops, irreducible_edges, program_loop_forests
+from .passcheck import (PassVerificationError, check_constprop, check_dce,
+                        checked_pipeline)
+from .verify import (Diagnostic, Severity, VerifyReport, verify_cfg,
+                     verify_normalization, verify_program, verify_region,
+                     verify_snapshot, verify_study, verify_translation_map)
+
+__all__ = [
+    "Definition", "Diagnostic", "FunctionLoops", "GenericDominators",
+    "IterativeDataflow", "Liveness", "PassVerificationError",
+    "PostDominatorTree", "ReachingDefinitions", "Severity", "VerifyReport",
+    "check_constprop", "check_dce", "checked_pipeline",
+    "compute_post_dominators", "irreducible_edges", "liveness",
+    "program_loop_forests", "reaching_definitions", "verify_cfg",
+    "verify_normalization", "verify_program", "verify_region",
+    "verify_snapshot", "verify_study", "verify_translation_map",
+]

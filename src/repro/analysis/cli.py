@@ -1,0 +1,316 @@
+"""``python -m repro.analysis`` — the standalone IR/profile lint tool.
+
+Lints any mix of:
+
+* ``.vir`` assembly files (parsed, then structurally and semantically
+  verified — unreachable blocks, undefined reads, bad targets, ...);
+* ``.json`` artefacts — profile snapshots
+  (:mod:`repro.profiles.io` format), study cache shards and aggregates
+  (:mod:`repro.harness.results` v6 format), sniffed by shape;
+* directories (recursively scanned for the above);
+* the built-in sample programs (``--samples``).
+
+Exit status: 0 when clean, 1 when any error-severity finding fired
+(``--strict`` promotes warnings to failures too), 2 on unreadable
+inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from ..cfg.graph import cfg_from_function
+from ..ir import SAMPLES, parse_program
+from ..ir.errors import VIRError
+from ..obs import inc
+from .verify import Severity, VerifyReport, verify_cfg, verify_program, \
+    verify_snapshot
+
+#: File extensions the directory scan picks up.
+_LINTABLE = (".vir", ".json")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Lint VIR programs, profile snapshots and study "
+                    "cache files.")
+    parser.add_argument("paths", nargs="*",
+                        help=".vir / .json files or directories to lint")
+    parser.add_argument("--samples", action="store_true",
+                        help="also lint the built-in sample programs")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as failures")
+    parser.add_argument("--json", action="store_true", dest="json_output",
+                        help="emit findings as JSON instead of text")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-target OK lines")
+    return parser
+
+
+def _lint_vir(path: str) -> VerifyReport:
+    """Parse and verify one ``.vir`` assembly file."""
+    report = VerifyReport()
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as exc:
+        report.error("io.unreadable", path, str(exc))
+        return report
+    try:
+        program = parse_program(text, validate=False)
+    except VIRError as exc:
+        report.error("parse.error", path, str(exc))
+        return report
+    verify_program(program, report)
+    return report
+
+
+def _sniff_json(data: Dict) -> str:
+    """Classify a JSON artefact by shape."""
+    if "blocks" in data and "label" in data:
+        return "snapshot"
+    if "result" in data and "benchmark" in data:
+        return "shard"
+    if "shards" in data:
+        return "aggregate"
+    if "benchmarks" in data:
+        return "results"
+    return "unknown"
+
+
+def _lint_snapshot(data: Dict, where: str) -> VerifyReport:
+    from ..profiles.io import snapshot_from_dict
+
+    report = VerifyReport()
+    try:
+        snapshot = snapshot_from_dict(data, validate=False)
+    except (KeyError, TypeError, ValueError) as exc:
+        report.error("snapshot.undecodable", where, str(exc))
+        return report
+    verify_snapshot(snapshot, report=report)
+    return report
+
+
+def _check_result_payload(result: Dict, where: str,
+                          report: VerifyReport) -> None:
+    """Range checks on a distilled BenchmarkResult payload."""
+    for metric in ("sd_bp", "sd_cp", "sd_lp"):
+        for threshold, value in (result.get(metric) or {}).items():
+            if value is not None and value < 0:
+                report.error("shard.negative-metric",
+                             f"{where} {metric}[{threshold}]",
+                             f"standard deviation {value} < 0")
+    for metric in ("bp_mismatch", "lp_mismatch"):
+        for threshold, value in (result.get(metric) or {}).items():
+            if value is not None and not 0.0 <= value <= 1.0:
+                report.error("shard.mismatch-range",
+                             f"{where} {metric}[{threshold}]",
+                             f"mismatch fraction {value} outside [0, 1]")
+    for threshold, ops in (result.get("profiling_ops") or {}).items():
+        if ops < 0:
+            report.error("shard.negative-ops",
+                         f"{where} profiling_ops[{threshold}]",
+                         f"profiling op count {ops} < 0")
+    thresholds = set(map(int, result.get("thresholds") or []))
+    for metric in ("sd_bp", "profiling_ops", "num_regions"):
+        keys = set(map(int, (result.get(metric) or {}).keys()))
+        extra = keys - thresholds
+        if extra:
+            report.warning("shard.threshold-key", f"{where} {metric}",
+                           f"per-threshold keys {sorted(extra)} not in the "
+                           "declared threshold list")
+    for threshold, perf in (result.get("perf") or {}).items():
+        frac = perf.get("optimized_fraction")
+        if frac is not None and not 0.0 <= frac <= 1.0:
+            report.error("shard.perf-fraction",
+                         f"{where} perf[{threshold}]",
+                         f"optimized_fraction {frac} outside [0, 1]")
+        for key in ("total", "unoptimized", "optimized", "side_exits",
+                    "translation"):
+            value = perf.get(key)
+            if value is not None and value < 0:
+                report.error("shard.negative-cost",
+                             f"{where} perf[{threshold}].{key}",
+                             f"cost {value} < 0")
+
+
+def _lint_shard(data: Dict, path: str) -> VerifyReport:
+    from ..harness.results import _FORMAT_VERSION
+
+    report = VerifyReport()
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        report.error("shard.version", path,
+                     f"format v{version}, current is v{_FORMAT_VERSION} "
+                     "(stale shard; the harness will recompute it)")
+        return report
+    result = data.get("result") or {}
+    name = data.get("benchmark")
+    if result.get("name") != name:
+        report.error("shard.name-mismatch", path,
+                     f"payload benchmark {name!r} != result name "
+                     f"{result.get('name')!r}")
+    base = os.path.basename(path)
+    if base.startswith("shard-") and name and \
+            not base.startswith(f"shard-{name}-"):
+        report.warning("shard.misfiled", path,
+                       f"filename does not match payload benchmark {name!r}")
+    _check_result_payload(result, path, report)
+    return report
+
+
+def _lint_aggregate(data: Dict, path: str) -> VerifyReport:
+    from ..harness.results import _FORMAT_VERSION
+
+    report = VerifyReport()
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        report.error("aggregate.version", path,
+                     f"format v{version}, current is v{_FORMAT_VERSION}")
+        return report
+    shards = data.get("shards")
+    if not isinstance(shards, dict):
+        report.error("aggregate.no-index", path, "missing shard index")
+        return report
+    directory = os.path.dirname(os.path.abspath(path))
+    for name, filename in sorted(shards.items()):
+        if not os.path.exists(os.path.join(directory, filename)):
+            report.warning("aggregate.missing-shard", path,
+                           f"shard {filename!r} for {name!r} not found "
+                           "next to the aggregate")
+    return report
+
+
+def _lint_results(data: Dict, path: str) -> VerifyReport:
+    report = VerifyReport()
+    for name, result in sorted((data.get("benchmarks") or {}).items()):
+        _check_result_payload(result, f"{path}:{name}", report)
+    return report
+
+
+def _lint_json(path: str) -> VerifyReport:
+    report = VerifyReport()
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as exc:
+        report.error("io.unreadable", path, str(exc))
+        return report
+    except json.JSONDecodeError as exc:
+        report.error("json.corrupt", path, f"not valid JSON: {exc}")
+        return report
+    if not isinstance(data, dict):
+        report.error("json.shape", path, "top level is not an object")
+        return report
+    kind = _sniff_json(data)
+    if kind == "snapshot":
+        return _lint_snapshot(data, path)
+    if kind == "shard":
+        return _lint_shard(data, path)
+    if kind == "aggregate":
+        return _lint_aggregate(data, path)
+    if kind == "results":
+        return _lint_results(data, path)
+    report.info("json.unrecognised", path,
+                "not a snapshot, shard, or aggregate; skipped")
+    return report
+
+
+def _lint_sample(name: str) -> VerifyReport:
+    report = VerifyReport()
+    program = SAMPLES[name]()
+    verify_program(program, report)
+    if report.ok:
+        for fn in program:
+            cfg, _ = cfg_from_function(fn)
+            verify_cfg(cfg, report)
+    return report
+
+
+def _collect_targets(paths: List[str]) -> Tuple[List[str], List[str]]:
+    """Expand directories; returns (files, missing-path complaints)."""
+    files: List[str] = []
+    missing: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in sorted(os.walk(path)):
+                for name in sorted(names):
+                    if name.endswith(_LINTABLE):
+                        files.append(os.path.join(root, name))
+        elif os.path.exists(path):
+            files.append(path)
+        else:
+            missing.append(path)
+    return files, missing
+
+
+def _lint_file(path: str) -> VerifyReport:
+    if path.endswith(".vir"):
+        return _lint_vir(path)
+    if path.endswith(".json"):
+        return _lint_json(path)
+    report = VerifyReport()
+    report.info("io.skipped", path, "unknown file type")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.paths and not args.samples:
+        build_parser().print_usage(sys.stderr)
+        print("error: nothing to lint (give paths or --samples)",
+              file=sys.stderr)
+        return 2
+
+    files, missing = _collect_targets(args.paths)
+    for path in missing:
+        print(f"error: no such file or directory: {path}", file=sys.stderr)
+    targets: List[Tuple[str, VerifyReport]] = []
+    for path in files:
+        inc("analysis.cli.files")
+        targets.append((path, _lint_file(path)))
+    if args.samples:
+        for name in sorted(SAMPLES):
+            inc("analysis.cli.files")
+            targets.append((f"sample:{name}", _lint_sample(name)))
+
+    total_errors = sum(len(r.errors) for _, r in targets)
+    total_warnings = sum(len(r.warnings) for _, r in targets)
+
+    if args.json_output:
+        payload = {
+            "targets": {
+                name: [
+                    {"code": d.code, "severity": d.severity.value,
+                     "where": d.where, "message": d.message}
+                    for d in report.diagnostics
+                ]
+                for name, report in targets
+            },
+            "errors": total_errors,
+            "warnings": total_warnings,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        floor = Severity.INFO if args.strict else Severity.WARNING
+        for name, report in targets:
+            rendered = report.render(floor)
+            if rendered:
+                print(f"{name}:")
+                for line in rendered.splitlines():
+                    print(f"  {line}")
+            elif not args.quiet:
+                print(f"{name}: OK")
+        print(f"linted {len(targets)} target(s): {total_errors} error(s), "
+              f"{total_warnings} warning(s)")
+
+    if missing:
+        return 2
+    if total_errors or (args.strict and total_warnings):
+        return 1
+    return 0

@@ -60,7 +60,15 @@ class CounterTable:
         return self.use[block], self.taken[block]
 
     def branch_probability(self, block: int) -> Optional[float]:
-        """``taken/use`` or None for a never-counted block."""
+        """``taken/use``, or None for a never-counted block.
+
+        Out-of-range ids also return None rather than raising (or, for
+        negative ids, silently wrapping around via list indexing) — the
+        region former probes arbitrary successor ids and must always get
+        a "no information" answer for blocks it cannot know about.
+        """
+        if not 0 <= block < self.num_blocks:
+            return None
         if self.use[block] <= 0:
             return None
         return self.taken[block] / self.use[block]

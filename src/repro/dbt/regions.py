@@ -46,25 +46,40 @@ class FormationResult:
     newly_optimized: Set[int]
 
 
-def _branch_probability(counters: CounterView, block: int) -> Optional[float]:
+def branch_probability(counters: CounterView, block: int) -> Optional[float]:
+    """``taken/use`` under ``counters``, or None for a zero-use block.
+
+    Never divides by zero: a block that has not executed has no branch
+    probability, and callers fall back to the uninformative 0.5 prior.
+    """
     use, taken = counters(block)
     if use <= 0:
         return None
     return taken / use
 
 
-def _edge_probs(cfg: ControlFlowGraph, counters: CounterView,
-                block: int) -> List[Tuple[int, EdgeKind, float]]:
-    """Successors of ``block`` with profile-estimated probabilities."""
+def edge_probabilities(cfg: ControlFlowGraph, counters: CounterView,
+                       block: int) -> List[Tuple[int, EdgeKind, float]]:
+    """Successors of ``block`` with profile-estimated probabilities.
+
+    Zero-use blocks get the 0.5/0.5 prior on both branch arms rather
+    than a division by zero; exit blocks return an empty list.
+    """
     succ = cfg.successors(block)
     if not succ:
         return []
     if len(succ) == 1:
         return [(succ[0], EdgeKind.ALWAYS, 1.0)]
-    bp = _branch_probability(counters, block)
+    bp = branch_probability(counters, block)
     p = 0.5 if bp is None else bp
     return [(succ[0], EdgeKind.TAKEN, p),
             (succ[1], EdgeKind.FALL, 1.0 - p)]
+
+
+# Internal aliases kept for the builder below (the public names are part
+# of the module surface the analysis layer and tests use).
+_branch_probability = branch_probability
+_edge_probs = edge_probabilities
 
 
 class _RegionBuilder:

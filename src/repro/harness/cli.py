@@ -29,6 +29,11 @@ from .tables import render
 #: degraded-but-useful run from a broken invocation.
 EXIT_QUARANTINE = 3
 
+#: Exit code when ``--verify`` found error-severity semantic violations.
+#: Quarantine (3) takes precedence: a quarantined run is degraded in a
+#: way that makes its verification coverage incomplete anyway.
+EXIT_VERIFY = 4
+
 
 def _report_quarantine(results) -> int:
     """Print quarantined benchmarks to stderr; the distinct exit code."""
@@ -42,6 +47,32 @@ def _report_quarantine(results) -> int:
     print(f"{len(failed)} benchmark(s) quarantined; figures cover the "
           f"remaining benchmarks only", file=sys.stderr)
     return EXIT_QUARANTINE
+
+
+def _report_verify(results) -> int:
+    """Print verifier findings to stderr; EXIT_VERIFY on any error.
+
+    Findings are rendered by :meth:`repro.analysis.Diagnostic.render`,
+    which leads with the severity — that prefix is what separates a
+    failing run (errors) from a merely noisy one (warnings).
+    """
+    errors = 0
+    warnings = 0
+    for name in sorted(results.benchmarks):
+        for finding in results.benchmarks[name].verify_findings:
+            print(f"verify: {name}: {finding}", file=sys.stderr)
+            if finding.startswith("error"):
+                errors += 1
+            else:
+                warnings += 1
+    if errors:
+        print(f"semantic verification failed: {errors} error(s), "
+              f"{warnings} warning(s)", file=sys.stderr)
+        return EXIT_VERIFY
+    if warnings:
+        print(f"semantic verification passed with {warnings} warning(s)",
+              file=sys.stderr)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,6 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "running after this long (default: "
                              "$REPRO_JOB_TIMEOUT, else unlimited; "
                              "needs --jobs >= 2)")
+    parser.add_argument("--verify", action="store_true", default=None,
+                        help="run the semantic verifier over every "
+                             "study (default: $REPRO_VERIFY, else off); "
+                             "error-severity findings exit with code 4")
     parser.add_argument("--verbose", action="store_true",
                         help="print per-benchmark progress")
     parser.add_argument("--summary", metavar="BENCH", default=None,
@@ -127,7 +162,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                              include_perf=not args.no_perf,
                              use_cache=not args.no_cache,
                              jobs=args.jobs, retries=args.retries,
-                             job_timeout=args.job_timeout)
+                             job_timeout=args.job_timeout,
+                             verify=args.verify)
     if args.figures:
         wanted = args.figures
     else:
@@ -160,7 +196,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         verbose=args.verbose,
         jobs=args.jobs,
         retries=args.retries,
-        job_timeout=args.job_timeout)
+        job_timeout=args.job_timeout,
+        verify=args.verify)
 
     for number in wanted:
         builder = FIGURES.get(number)
@@ -180,14 +217,15 @@ def _dispatch(args: argparse.Namespace) -> int:
                 f.write(to_csv(table))
     if args.stats:
         print(render_manifest(results.manifest))
-    return _report_quarantine(results)
+    return _report_quarantine(results) or _report_verify(results)
 
 
 def print_summary(name: str, steps_scale: float = 1.0,
                   include_perf: bool = True, use_cache: bool = True,
                   jobs: Optional[int] = None,
                   retries: Optional[int] = None,
-                  job_timeout: Optional[float] = None) -> int:
+                  job_timeout: Optional[float] = None,
+                  verify: Optional[bool] = None) -> int:
     """Print one benchmark's complete study card."""
     from ..workloads.spec import nominal_label
     from .tables import Table
@@ -199,7 +237,8 @@ def print_summary(name: str, steps_scale: float = 1.0,
         names=[name], thresholds=SIM_THRESHOLDS, steps_scale=steps_scale,
         include_perf=include_perf,
         cache_dir=DEFAULT_CACHE_DIR if use_cache else None,
-        jobs=jobs, retries=retries, job_timeout=job_timeout)
+        jobs=jobs, retries=retries, job_timeout=job_timeout,
+        verify=verify)
     if name not in results.benchmarks:
         return _report_quarantine(results)
     result = results.benchmarks[name]
@@ -227,7 +266,7 @@ def print_summary(name: str, steps_scale: float = 1.0,
             row.append(perf.get(t))
         table.add_row(*row)
     print(render(table))
-    return 0
+    return _report_verify(results)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -145,7 +145,7 @@ class DispatchResult:
 #: A study job as shipped to a worker (everything here pickles).  The
 #: final element is the fault kind the parent drew for this attempt.
 Job = Tuple[str, Tuple[int, ...], DBTConfig, CostModel, float, bool,
-            Optional[str]]
+            bool, Optional[str]]
 
 
 def _pool_worker_init() -> None:
@@ -155,7 +155,8 @@ def _pool_worker_init() -> None:
 
 def _study_worker(job: Job) -> WorkerOutput:
     """Run one benchmark's study in a worker process."""
-    name, thresholds, config, costs, steps_scale, include_perf, inject = job
+    (name, thresholds, config, costs, steps_scale, include_perf, verify,
+     inject) = job
     # A forked worker inherits the parent's registry/trace contents (and
     # a pool worker keeps state across jobs) — start each job clean so
     # the returned state is exactly this benchmark's signals.
@@ -169,7 +170,7 @@ def _study_worker(job: Job) -> WorkerOutput:
     benchmark = get_benchmark(name)
     result = study_benchmark(benchmark, thresholds, config=config,
                              costs=costs, steps_scale=steps_scale,
-                             include_perf=include_perf)
+                             include_perf=include_perf, verify=verify)
     elapsed = time.perf_counter() - started
     return WorkerOutput(name=name, result=result, seconds=elapsed,
                         metrics=obsregistry.export_state(),
@@ -519,6 +520,7 @@ def dispatch_study_jobs(
         policy: Optional[RetryPolicy] = None,
         plan: Optional[faults.FaultPlan] = None,
         on_output: Optional[Callable[[WorkerOutput], None]] = None,
+        verify: bool = False,
 ) -> DispatchResult:
     """Fan ``study_benchmark`` jobs out with retries and quarantine.
 
@@ -533,6 +535,7 @@ def dispatch_study_jobs(
         on_output: called in completion order with every successful
             :class:`WorkerOutput` (progress logging, incremental shard
             writes).  Runs in the parent process.
+        verify: run the semantic verifier inside every study job.
 
     Returns a :class:`DispatchResult`; the caller merges observability
     deterministically and decides what quarantined benchmarks mean.
@@ -541,7 +544,8 @@ def dispatch_study_jobs(
     policy = policy or RetryPolicy()
     plan = plan if plan is not None else faults.FaultPlan.from_env()
     on_output = on_output or (lambda output: None)
-    job_tail = (tuple(thresholds), config, costs, steps_scale, include_perf)
+    job_tail = (tuple(thresholds), config, costs, steps_scale, include_perf,
+                verify)
     workers = min(jobs, len(names))
     if workers <= 1:
         if policy.job_timeout is not None:

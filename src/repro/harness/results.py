@@ -79,6 +79,9 @@ class BenchmarkResult:
     avep_ops: int
     num_regions: Dict[int, int] = field(default_factory=dict)
     perf: Dict[int, PerfPoint] = field(default_factory=dict)
+    #: Rendered semantic-verifier findings (``--verify`` runs only; empty
+    #: when verification was off or found nothing at warning+ severity).
+    verify_findings: List[str] = field(default_factory=list)
 
     def perf_relative(self, base_threshold: int = 1
                       ) -> Dict[int, Optional[float]]:
@@ -269,7 +272,8 @@ def _result_from_dict(data: Dict) -> BenchmarkResult:
         train_ops=data["train_ops"],
         avep_ops=data["avep_ops"],
         num_regions=_intkeys(data["num_regions"]),
-        perf=perf)
+        perf=perf,
+        verify_findings=list(data.get("verify_findings") or []))
     return result
 
 

@@ -53,25 +53,52 @@ DEFAULT_CACHE_DIR = os.path.normpath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)),
                  "..", "..", "..", ".cache"))
 
+#: Environment variable turning the semantic verifier on by default.
+VERIFY_ENV = "REPRO_VERIFY"
+
 _log = obslog.get_logger("repro.harness.runner")
+
+
+def resolve_verify(verify: Optional[bool] = None) -> bool:
+    """Whether studies should run under the semantic verifier.
+
+    Explicit ``verify`` wins; otherwise :data:`VERIFY_ENV` (``1``,
+    ``true``, ``yes``, ``on`` enable, ``0``/``false``/``no``/``off``/
+    empty disable); otherwise off.
+    """
+    if verify is not None:
+        return verify
+    env = os.environ.get(VERIFY_ENV, "").strip().lower()
+    if env in ("", "0", "false", "no", "off"):
+        return False
+    if env in ("1", "true", "yes", "on"):
+        return True
+    raise ValueError(f"{VERIFY_ENV} must be a boolean flag, "
+                     f"got {os.environ.get(VERIFY_ENV)!r}")
 
 
 def _key_payload(thresholds: Sequence[int], config: DBTConfig,
                  costs: CostModel, steps_scale: float,
-                 include_perf: bool) -> Dict:
+                 include_perf: bool, verify: bool = False) -> Dict:
     """The normalised configuration dict behind every cache key.
 
     Thresholds are sorted and config/cost dataclasses expanded into
     explicit field dicts, so equivalent configurations always share a
-    fingerprint regardless of argument order or object identity.
+    fingerprint regardless of argument order or object identity.  The
+    ``verify`` key only appears when verification is on: verified
+    results carry extra payload (the findings), while unverified runs
+    keep their pre-verifier fingerprints — and their caches — intact.
     """
-    return {
+    payload = {
         "thresholds": sorted(int(t) for t in thresholds),
         "config": asdict(config),
         "costs": asdict(costs),
         "steps_scale": steps_scale,
         "include_perf": include_perf,
     }
+    if verify:
+        payload["verify"] = True
+    return payload
 
 
 def _hash_payload(payload: Dict) -> str:
@@ -81,20 +108,21 @@ def _hash_payload(payload: Dict) -> str:
 
 def _fingerprint(names: Sequence[str], thresholds: Sequence[int],
                  config: DBTConfig, costs: CostModel,
-                 steps_scale: float, include_perf: bool) -> str:
+                 steps_scale: float, include_perf: bool,
+                 verify: bool = False) -> str:
     """Run-level cache key: the config payload plus the sorted name set."""
     payload = _key_payload(thresholds, config, costs, steps_scale,
-                           include_perf)
+                           include_perf, verify)
     payload["names"] = sorted(names)
     return _hash_payload(payload)
 
 
 def _config_fingerprint(thresholds: Sequence[int], config: DBTConfig,
                         costs: CostModel, steps_scale: float,
-                        include_perf: bool) -> str:
+                        include_perf: bool, verify: bool = False) -> str:
     """Shard-level cache key: configuration only, shared by all names."""
     return _hash_payload(_key_payload(thresholds, config, costs,
-                                      steps_scale, include_perf))
+                                      steps_scale, include_perf, verify))
 
 
 def study_benchmark(benchmark: SyntheticBenchmark,
@@ -102,7 +130,8 @@ def study_benchmark(benchmark: SyntheticBenchmark,
                     config: Optional[DBTConfig] = None,
                     costs: CostModel = DEFAULT_COSTS,
                     steps_scale: float = 1.0,
-                    include_perf: bool = True) -> BenchmarkResult:
+                    include_perf: bool = True,
+                    verify: Optional[bool] = None) -> BenchmarkResult:
     """Run the complete study for one benchmark and distil the numbers.
 
     Args:
@@ -113,8 +142,12 @@ def study_benchmark(benchmark: SyntheticBenchmark,
         steps_scale: scales run lengths (sub-1.0 for quick smoke runs;
             phase boundaries are fractional so they scale along).
         include_perf: also run the cost model (the most expensive stage).
+        verify: run the semantic verifier over the finished study
+            (default: ``$REPRO_VERIFY``, else off).  Findings at
+            warning+ severity land in the result's ``verify_findings``.
     """
     config = config or DBTConfig()
+    verify = resolve_verify(verify)
     if steps_scale != 1.0:
         benchmark = benchmark.scaled(steps_scale)
 
@@ -175,6 +208,24 @@ def study_benchmark(benchmark: SyntheticBenchmark,
                         translation=breakdown.translation,
                         num_side_exits=breakdown.num_side_exits,
                         optimized_fraction=breakdown.optimized_fraction)
+
+        if verify:
+            # Imported lazily: the analysis layer depends on the core
+            # study machinery, and unverified runs must not pay for it.
+            from ..analysis.verify import Severity, verify_study
+            with span("verify_study", bench=benchmark.name):
+                report = verify_study(study, config=config)
+            result.verify_findings = [
+                d.render() for d in report.diagnostics
+                if d.severity is not Severity.INFO]
+            if not report.ok:
+                _log.error("semantic verification failed",
+                           bench=benchmark.name,
+                           findings=len(report.errors))
+            elif result.verify_findings:
+                _log.warning("semantic verification produced warnings",
+                             bench=benchmark.name,
+                             findings=len(result.verify_findings))
     return result
 
 
@@ -251,7 +302,8 @@ def run_full_study(names: Optional[Iterable[str]] = None,
                    verbose: bool = False,
                    jobs: Optional[int] = None,
                    retries: Optional[int] = None,
-                   job_timeout: Optional[float] = None) -> StudyResults:
+                   job_timeout: Optional[float] = None,
+                   verify: Optional[bool] = None) -> StudyResults:
     """Run (or load from cache) the full evaluation study.
 
     With the default arguments this reproduces every figure's raw data
@@ -275,6 +327,10 @@ def run_full_study(names: Optional[Iterable[str]] = None,
         job_timeout: seconds before an in-flight job is declared hung
             and quarantined (default: ``$REPRO_JOB_TIMEOUT``, else
             unlimited; enforced only with ``jobs > 1``).
+        verify: run the semantic verifier inside every study (default:
+            ``$REPRO_VERIFY``, else off); findings are attached to each
+            benchmark's result and summarised in the manifest.  Verified
+            runs use their own cache fingerprints.
         verbose: emit per-benchmark progress through the structured
             logger (auto-configured at info level if
             :func:`repro.obs.configure` has not been called yet).
@@ -284,6 +340,7 @@ def run_full_study(names: Optional[Iterable[str]] = None,
         names = [b.name for b in all_benchmarks()]
     names = dedupe_names(list(names))
     jobs = resolve_jobs(jobs)
+    verify = resolve_verify(verify)
     policy = RetryPolicy(retries=resolve_retries(retries),
                          job_timeout=resolve_job_timeout(job_timeout))
 
@@ -291,9 +348,9 @@ def run_full_study(names: Optional[Iterable[str]] = None,
         obslog.configure(level="info")
 
     key = _fingerprint(names, thresholds, config, costs, steps_scale,
-                       include_perf)
+                       include_perf, verify)
     confkey = _config_fingerprint(thresholds, config, costs, steps_scale,
-                                  include_perf)
+                                  include_perf, verify)
     cache_path = None
     if cache_dir is not None:
         cache_dir = os.path.normpath(cache_dir)
@@ -307,14 +364,15 @@ def run_full_study(names: Optional[Iterable[str]] = None,
     try:
         return _compute_study(
             names, thresholds, config, costs, steps_scale, include_perf,
-            cache_dir, cache_path, key, confkey, jobs, policy, plan)
+            verify, cache_dir, cache_path, key, confkey, jobs, policy,
+            plan)
     finally:
         set_active_plan(None)
 
 
 def _compute_study(names, thresholds, config, costs, steps_scale,
-                   include_perf, cache_dir, cache_path, key, confkey,
-                   jobs, policy, plan) -> StudyResults:
+                   include_perf, verify, cache_dir, cache_path, key,
+                   confkey, jobs, policy, plan) -> StudyResults:
     """The cache-miss path of :func:`run_full_study`."""
     collected: Dict[str, BenchmarkResult] = {}
     timings: Dict[str, float] = {}
@@ -354,7 +412,7 @@ def _compute_study(names, thresholds, config, costs, steps_scale,
             dispatch = dispatch_study_jobs(
                 pending, thresholds, config, costs, steps_scale,
                 include_perf, jobs=jobs, policy=policy, plan=plan,
-                on_output=_absorb)
+                on_output=_absorb, verify=verify)
             failures = dispatch.failures
             for name in pending:  # deterministic merge order
                 output = dispatch.outputs.get(name)
@@ -375,6 +433,11 @@ def _compute_study(names, thresholds, config, costs, steps_scale,
                "config_fingerprint": confkey,
                "retries": policy.retries,
                "job_timeout": policy.job_timeout,
+               "verify": verify,
+               "verify_findings": {
+                   name: len(result.verify_findings)
+                   for name, result in sorted(collected.items())
+                   if result.verify_findings},
                "failed_benchmarks": {
                    name: asdict(failure)
                    for name, failure in sorted(failures.items())}})

@@ -16,7 +16,7 @@ import re
 from typing import List, Optional, Tuple
 
 from . import instructions as ins
-from .errors import ParseError
+from .errors import BuildError, ParseError
 from .instructions import BINARY_OPS, Cond, Instruction, Opcode
 from .program import BasicBlock, Function, Program
 from .validate import validate_program
@@ -122,7 +122,11 @@ def parse_program(text: str, entry: str = "main",
 
         m = _FUNC_RE.match(line)
         if m:
-            current_fn = program.add_function(Function(m.group(1)))
+            try:
+                current_fn = program.add_function(Function(m.group(1)))
+            except BuildError:
+                raise ParseError(
+                    f"duplicate function {m.group(1)!r}", lineno) from None
             current_block = None
             continue
 
@@ -130,7 +134,12 @@ def parse_program(text: str, entry: str = "main",
         if m:
             if current_fn is None:
                 raise ParseError("block label outside any function", lineno)
-            current_block = current_fn.add_block(BasicBlock(m.group(1)))
+            try:
+                current_block = current_fn.add_block(BasicBlock(m.group(1)))
+            except BuildError:
+                raise ParseError(
+                    f"duplicate block label {m.group(1)!r} in function "
+                    f"{current_fn.name!r}", lineno) from None
             continue
 
         if current_block is None:

@@ -14,7 +14,8 @@ construction, interpreter, DBT) relies on:
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
 
 from .errors import ValidationError
 from .instructions import BINARY_OPS, Instruction, Opcode
@@ -88,12 +89,8 @@ def _check_block(fn: Function, block: BasicBlock, program: Program,
             errors.append(f"{where}: branch to undefined block {label!r}")
 
 
-def validate_program(program: Program) -> None:
-    """Validate ``program``, raising :class:`ValidationError` on any problem.
-
-    The exception message lists *all* problems found, one per line, so a
-    generated program can be fixed in a single round trip.
-    """
+def collect_errors(program: Program) -> List[str]:
+    """All structural problems of ``program``, one string each."""
     errors: List[str] = []
     if program.entry not in program.functions:
         errors.append(f"entry function {program.entry!r} is not defined")
@@ -101,7 +98,87 @@ def validate_program(program: Program) -> None:
         if fn.entry is None:
             errors.append(f"function {fn.name!r} has no blocks")
             continue
+        for label, block in fn.blocks.items():
+            if label != block.label:
+                # Dicts make true duplicate labels unrepresentable, but a
+                # hand-built (or mutated) program can still alias one
+                # block under a second key — the "duplicate label" failure
+                # mode that survives construction.
+                errors.append(
+                    f"{fn.name}: block keyed {label!r} is labelled "
+                    f"{block.label!r} (mislabelled/duplicated block)")
         for block in fn:
             _check_block(fn, block, program, errors)
+    return errors
+
+
+@dataclass
+class ProgramDiagnostics:
+    """Structured validation outcome: errors plus advisory warnings.
+
+    Both lists hold ``(where, message)`` pairs; ``errors`` are the
+    :func:`validate_program` rules (plus mislabelled blocks), while
+    ``warnings`` flag legal-but-suspicious shapes — currently blocks
+    unreachable from their function's entry.
+    """
+
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+    warnings: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def _reachable_block_labels(fn: Function) -> Set[str]:
+    """Labels reachable from the function entry along terminator edges."""
+    if fn.entry is None or fn.entry not in fn.blocks:
+        return set()
+    seen = {fn.entry}
+    stack = [fn.entry]
+    while stack:
+        block = fn.blocks.get(stack.pop())
+        if block is None or not block.is_sealed:
+            continue
+        for target in block.successor_labels():
+            if target in fn.blocks and target not in seen:
+                seen.add(target)
+                stack.append(target)
+    return seen
+
+
+def program_diagnostics(program: Program) -> ProgramDiagnostics:
+    """Validate ``program`` without raising, surfacing warnings too.
+
+    Errors are everything :func:`validate_program` would raise for;
+    warnings cover unreachable blocks (dead code a generator left
+    behind — harmless to run, but usually a bug upstream).
+    """
+    diags = ProgramDiagnostics()
+    for message in collect_errors(program):
+        where, _, rest = message.partition(": ")
+        if rest:
+            diags.errors.append((where, rest))
+        else:
+            diags.errors.append(("program", message))
+    for fn in program:
+        if fn.entry is None:
+            continue
+        live = _reachable_block_labels(fn)
+        for block in fn:
+            if block.label not in live:
+                diags.warnings.append(
+                    (f"{fn.name}:{block.label}",
+                     "block is unreachable from the function entry"))
+    return diags
+
+
+def validate_program(program: Program) -> None:
+    """Validate ``program``, raising :class:`ValidationError` on any problem.
+
+    The exception message lists *all* problems found, one per line, so a
+    generated program can be fixed in a single round trip.
+    """
+    errors = collect_errors(program)
     if errors:
         raise ValidationError("\n".join(errors))

@@ -96,11 +96,29 @@ class RegionOptimizationReport:
 
 def optimize_region(program: Program, region: Region,
                     machine: MachineModel = MachineModel(),
-                    live_out=ALL_REGISTERS) -> RegionOptimizationReport:
-    """Run the full pass pipeline on one region and measure the gain."""
+                    live_out=ALL_REGISTERS,
+                    verify: bool = False) -> RegionOptimizationReport:
+    """Run the full pass pipeline on one region and measure the gain.
+
+    With ``verify=True`` each pass is checked structurally and
+    differentially (see :mod:`repro.analysis.passcheck`); a miscompile
+    raises :class:`repro.analysis.passcheck.PassVerificationError`.
+    """
     original = extract_superblock(program, region)
-    optimized = eliminate_dead_code(propagate_constants(original),
-                                    live_out=live_out)
+    if verify:
+        # Imported lazily: repro.analysis depends on repro.opt, and the
+        # fast path must not pay for the verifier machinery.
+        from ..analysis.passcheck import PassVerificationError, \
+            check_constprop, check_dce
+        propagated = propagate_constants(original)
+        report = check_constprop(original, propagated)
+        optimized = eliminate_dead_code(propagated, live_out=live_out)
+        check_dce(propagated, optimized, live_out=live_out, report=report)
+        if not report.ok:
+            raise PassVerificationError(report)
+    else:
+        optimized = eliminate_dead_code(propagate_constants(original),
+                                        live_out=live_out)
     return RegionOptimizationReport(
         region_id=region.region_id,
         original_instructions=len(original),
@@ -111,10 +129,11 @@ def optimize_region(program: Program, region: Region,
 
 def optimize_snapshot_regions(program: Program,
                               snapshot: ProfileSnapshot,
-                              machine: MachineModel = MachineModel()
+                              machine: MachineModel = MachineModel(),
+                              verify: bool = False
                               ) -> List[RegionOptimizationReport]:
     """Retranslate every region of an INIP snapshot, reporting each gain."""
-    return [optimize_region(program, region, machine)
+    return [optimize_region(program, region, machine, verify=verify)
             for region in snapshot.regions]
 
 

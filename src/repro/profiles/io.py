@@ -52,9 +52,15 @@ def snapshot_to_dict(snapshot: ProfileSnapshot) -> Dict[str, Any]:
     }
 
 
-def snapshot_from_dict(data: Dict[str, Any]) -> ProfileSnapshot:
+def snapshot_from_dict(data: Dict[str, Any],
+                       validate: bool = True) -> ProfileSnapshot:
     """Decode a snapshot from plain data (inverse of
-    :func:`snapshot_to_dict`)."""
+    :func:`snapshot_to_dict`).
+
+    With ``validate=False`` a structurally broken snapshot is returned
+    as-is instead of raising — the lint CLI uses this to decode a
+    corrupted file and report *what* is wrong with it.
+    """
     version = data.get("version")
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported profile format version {version!r}")
@@ -82,7 +88,8 @@ def snapshot_from_dict(data: Dict[str, Any]) -> ProfileSnapshot:
             tail=entry["tail"],
             formed_at=entry["formed_at"],
         ))
-    snapshot.validate()
+    if validate:
+        snapshot.validate()
     return snapshot
 
 

@@ -1,0 +1,169 @@
+"""The ``python -m repro.analysis`` lint CLI: exit codes, output modes,
+and seeded-corruption detection on real artefact files."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.profiles.io import snapshot_to_dict
+
+CLEAN_VIR = """\
+func main:
+entry:
+    li i, 0
+    li n, 8
+    li one, 1
+    jmp loop
+loop:
+    add i, i, one
+    br lt, i, n, loop, done
+done:
+    halt
+"""
+
+WARN_VIR = """\
+func main:
+entry:
+    mov a, ghost
+    halt
+orphan:
+    halt
+"""
+
+
+def _clean_snapshot_dict():
+    from tests.analysis.test_verify import _clean_snapshot
+    return snapshot_to_dict(_clean_snapshot())
+
+
+@pytest.fixture
+def clean_vir(tmp_path):
+    path = tmp_path / "clean.vir"
+    path.write_text(CLEAN_VIR)
+    return str(path)
+
+
+@pytest.fixture
+def warn_vir(tmp_path):
+    path = tmp_path / "warn.vir"
+    path.write_text(WARN_VIR)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, clean_vir, capsys):
+        assert main([clean_vir]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_nothing_to_lint_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.vir")]) == 2
+
+    def test_parse_error_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "broken.vir"
+        path.write_text("func main:\nentry:\n    bogus x, y\n")
+        assert main([str(path)]) == 1
+        assert "parse.error" in capsys.readouterr().out
+
+    def test_warnings_exit_zero_without_strict(self, warn_vir, capsys):
+        assert main([warn_vir]) == 0
+        out = capsys.readouterr().out
+        assert "ir.maybe-undefined-read" in out
+        assert "ir.suspicious" in out
+
+    def test_strict_promotes_warnings(self, warn_vir, capsys):
+        assert main([warn_vir, "--strict"]) == 1
+
+    def test_samples_are_lintable(self, capsys):
+        assert main(["--samples"]) == 0
+        assert "sample:sum_loop" in capsys.readouterr().out
+
+    def test_directory_scan(self, tmp_path, clean_vir, capsys):
+        (tmp_path / "noise.txt").write_text("ignored")
+        assert main([str(tmp_path)]) == 0
+        assert "clean.vir" in capsys.readouterr().out
+
+
+class TestJsonArtefacts:
+    def test_clean_snapshot_json(self, tmp_path, capsys):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(_clean_snapshot_dict()))
+        assert main([str(path)]) == 0
+
+    def test_corrupted_counters_exit_one(self, tmp_path, capsys):
+        data = _clean_snapshot_dict()
+        data["blocks"][0]["taken"] = data["blocks"][0]["use"] + 7
+        path = tmp_path / "bad-counters.json"
+        path.write_text(json.dumps(data))
+        assert main([str(path)]) == 1
+        assert "counter.taken-exceeds-use" in capsys.readouterr().out
+
+    def test_corrupted_region_exit_one(self, tmp_path, capsys):
+        data = _clean_snapshot_dict()
+        data["regions"][0]["members"] = [999]
+        path = tmp_path / "bad-region.json"
+        path.write_text(json.dumps(data))
+        assert main([str(path)]) == 1
+        assert "region." in capsys.readouterr().out
+
+    def test_undecodable_snapshot(self, tmp_path, capsys):
+        data = _clean_snapshot_dict()
+        del data["blocks"][0]["use"]
+        path = tmp_path / "undecodable.json"
+        path.write_text(json.dumps(data))
+        assert main([str(path)]) == 1
+        assert "snapshot.undecodable" in capsys.readouterr().out
+
+    def test_invalid_json_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        assert main([str(path)]) == 1
+        assert "json.corrupt" in capsys.readouterr().out
+
+    def test_non_object_json(self, tmp_path, capsys):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        assert main([str(path)]) == 1
+        assert "json.shape" in capsys.readouterr().out
+
+    def test_unrecognised_json_is_info_only(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        assert main([str(path)]) == 0
+
+
+class TestOutputModes:
+    def test_json_output_shape(self, warn_vir, capsys):
+        assert main([warn_vir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        assert payload["warnings"] >= 2
+        (target, findings), = payload["targets"].items()
+        assert target.endswith("warn.vir")
+        codes = {f["code"] for f in findings}
+        assert "ir.maybe-undefined-read" in codes
+        assert all({"code", "severity", "where", "message"} <= set(f)
+                   for f in findings)
+
+    def test_quiet_suppresses_ok_lines(self, clean_vir, capsys):
+        assert main([clean_vir, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" not in out
+        assert "linted 1 target(s)" in out
+
+    def test_cli_files_counter(self, clean_vir):
+        from repro.obs import counter_value
+        before = counter_value("analysis.cli.files")
+        main([clean_vir])
+        assert counter_value("analysis.cli.files") == before + 1
+
+
+def test_repo_examples_are_error_free():
+    """The CI lint job's contract: examples/ has warnings, no errors."""
+    import os
+    examples = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples")
+    assert main([examples, "--quiet"]) == 0

@@ -1,0 +1,152 @@
+"""Pass verification: honest passes verify clean, sabotaged ones are
+caught structurally or by the differential probe battery."""
+
+import pytest
+
+from repro.analysis import (PassVerificationError, check_constprop,
+                            check_dce, checked_pipeline)
+from repro.ir import instructions as ins
+from repro.ir.instructions import Opcode
+from repro.opt import eliminate_dead_code, propagate_constants
+
+
+def _sample_code():
+    return [
+        ins.li("a", 6),
+        ins.li("b", 7),
+        ins.binop(Opcode.MUL, "c", "a", "b"),
+        ins.li("base", 256),
+        ins.store("c", "base", 0),
+        ins.li("dead", 99),
+        ins.mov("dead", "c"),
+    ]
+
+
+class TestCheckDce:
+    def test_honest_dce_is_clean(self):
+        code = _sample_code()
+        report = check_dce(code, eliminate_dead_code(code))
+        assert report.ok
+
+    def test_identity_is_clean(self):
+        code = _sample_code()
+        assert check_dce(code, list(code)).ok
+
+    def test_grown_output_is_flagged(self):
+        code = _sample_code()
+        report = check_dce(code, code + [ins.nop()])
+        assert "passcheck.dce.grew" in report.codes()
+
+    def test_reordered_output_is_flagged(self):
+        code = [ins.li("a", 1), ins.li("b", 2)]
+        report = check_dce(code, [ins.li("b", 2), ins.li("a", 1)])
+        assert "passcheck.dce.not-subsequence" in report.codes()
+
+    def test_dropped_store_is_flagged(self):
+        code = _sample_code()
+        broken = [i for i in code if i.opcode is not Opcode.STORE]
+        report = check_dce(code, broken)
+        assert "passcheck.dce.dropped-effect" in report.codes()
+
+    def test_dropped_live_instruction_diverges(self):
+        # deleting the def of a live-out register changes observable state
+        code = [ins.li("a", 5), ins.li("b", 6)]
+        report = check_dce(code, [ins.li("b", 6)], live_out={"a", "b"})
+        assert "passcheck.dce.state-divergence" in report.codes()
+
+    def test_respects_declared_live_out(self):
+        # with live_out = {b}, deleting a's def is a legal DCE outcome
+        code = [ins.li("a", 5), ins.li("b", 6)]
+        report = check_dce(code, [ins.li("b", 6)], live_out={"b"})
+        assert report.ok
+
+
+class TestCheckConstprop:
+    def test_honest_constprop_is_clean(self):
+        code = _sample_code()
+        assert check_constprop(code, propagate_constants(code)).ok
+
+    def test_length_change_is_flagged(self):
+        code = _sample_code()
+        report = check_constprop(code, code[:-1])
+        assert "passcheck.constprop.length" in report.codes()
+
+    def test_write_set_change_is_flagged(self):
+        code = [ins.li("a", 1)]
+        report = check_constprop(code, [ins.li("other", 1)])
+        assert "passcheck.constprop.write-set" in report.codes()
+
+    def test_wrong_constant_diverges(self):
+        code = [ins.li("a", 6), ins.li("b", 7),
+                ins.binop(Opcode.MUL, "c", "a", "b")]
+        broken = [ins.li("a", 6), ins.li("b", 7), ins.li("c", 41)]
+        report = check_constprop(code, broken)
+        assert "passcheck.constprop.state-divergence" in report.codes()
+
+    def test_correct_folding_passes(self):
+        code = [ins.li("a", 6), ins.li("b", 7),
+                ins.binop(Opcode.MUL, "c", "a", "b")]
+        folded = [ins.li("a", 6), ins.li("b", 7), ins.li("c", 42)]
+        assert check_constprop(code, folded).ok
+
+    def test_effect_rewrite_is_flagged(self):
+        code = [ins.li("base", 256), ins.li("v", 1),
+                ins.store("v", "base", 0)]
+        broken = [ins.li("base", 256), ins.li("v", 1), ins.nop()]
+        report = check_constprop(code, broken)
+        assert "passcheck.constprop.effect-rewrite" in report.codes()
+
+    def test_call_skips_differential_but_keeps_structure(self):
+        code = [ins.li("a", 1), ins.call("helper")]
+        report = check_constprop(code, list(code))
+        assert report.ok
+        assert "passcheck.constprop.call-skip" in report.codes()
+
+
+class TestCheckedPipeline:
+    def test_clean_pipeline_returns_optimized_code(self):
+        code = _sample_code()
+        optimized = checked_pipeline(code)
+        assert len(optimized) <= len(code)
+        # the store must survive any amount of cleanup
+        assert any(i.opcode is Opcode.STORE for i in optimized)
+
+    def test_miscompile_raises_with_report(self, monkeypatch):
+        import repro.opt.dce as dce_mod
+
+        def broken_dce(code, live_out=None):
+            return [i for i in code if i.opcode is not Opcode.STORE]
+
+        monkeypatch.setattr(dce_mod, "eliminate_dead_code", broken_dce)
+        with pytest.raises(PassVerificationError) as excinfo:
+            checked_pipeline(_sample_code())
+        assert "passcheck.dce.dropped-effect" in excinfo.value.report.codes()
+
+    def test_failure_counter_bumps(self):
+        from repro.obs import counter_value
+        before = counter_value("analysis.passcheck.failures")
+        check_dce([ins.li("a", 1)], [ins.li("a", 1), ins.nop()])
+        assert counter_value("analysis.passcheck.failures") == before + 1
+
+
+def test_optimize_region_verify_mode():
+    """The wiring: optimize_region(..., verify=True) runs the checks."""
+    from repro.obs import counter_value
+    from repro.opt import optimize_region
+    from repro.profiles.model import Region
+    from repro.profiles import EdgeKind, RegionKind
+    from repro.ir import BasicBlock, Function, Program
+
+    program = Program()
+    fn = Function("main")
+    fn.add_block(BasicBlock("b0", [
+        ins.li("a", 2), ins.li("b", 3), ins.jmp("b1")]))
+    fn.add_block(BasicBlock("b1", [
+        ins.binop(Opcode.ADD, "c", "a", "b"), ins.halt()]))
+    program.add_function(fn)
+    region = Region(region_id=0, kind=RegionKind.LINEAR, members=[0, 1],
+                    internal_edges=[(0, 1, EdgeKind.ALWAYS)], tail=1)
+    before = counter_value("analysis.passcheck.runs")
+    report = optimize_region(program, region, verify=True)
+    assert report is not None
+    assert counter_value("analysis.passcheck.runs") >= before + 2

@@ -1,0 +1,359 @@
+"""Semantic verifier: clean artefacts pass, every seeded corruption is
+flagged with its own diagnostic code."""
+
+import copy
+
+import pytest
+
+from repro.analysis import (Severity, VerifyReport, verify_cfg,
+                            verify_normalization, verify_program,
+                            verify_region, verify_snapshot, verify_study)
+from repro.cfg import ControlFlowGraph
+from repro.core import run_threshold_sweep
+from repro.core.markov import normalize_avep
+from repro.core.normalize import DuplicatedGraph
+from repro.dbt import DBTConfig
+from repro.ir import BasicBlock, Function, Program, ProgramBuilder
+from repro.ir import instructions as ins
+from repro.profiles import EdgeKind, RegionKind
+from repro.profiles.model import BlockProfile, ProfileSnapshot, Region
+from repro.stochastic import walk
+
+
+# ---------------------------------------------------------------------------
+# A hand-built, fully clean INIP snapshot over the diamond CFG
+# ---------------------------------------------------------------------------
+
+def _clean_snapshot():
+    """INIP(10) over diamond_cfg: one LINEAR region covering 1 -> 2."""
+    blocks = {
+        0: BlockProfile(0, use=16, taken=0),
+        1: BlockProfile(1, use=15, taken=10, frozen_at=50),
+        2: BlockProfile(2, use=10, taken=0, frozen_at=50),
+        3: BlockProfile(3, use=5, taken=0),
+        4: BlockProfile(4, use=16, taken=0),
+    }
+    region = Region(
+        region_id=0, kind=RegionKind.LINEAR, members=[1, 2],
+        internal_edges=[(0, 1, EdgeKind.TAKEN)],
+        exit_edges=[(0, EdgeKind.FALL, 3), (1, EdgeKind.ALWAYS, 4)],
+        tail=1, formed_at=50)
+    ops = sum(p.use + p.taken for p in blocks.values())
+    return ProfileSnapshot(label="INIP(10)", input_name="ref", threshold=10,
+                           blocks=blocks, regions=[region],
+                           total_steps=100, profiling_ops=ops)
+
+
+@pytest.fixture
+def snapshot():
+    return _clean_snapshot()
+
+
+def _codes(snapshot, cfg, config=None):
+    return verify_snapshot(snapshot, cfg, config=config).codes()
+
+
+class TestVerifySnapshotClean:
+    def test_clean_snapshot_is_clean(self, snapshot, diamond_cfg):
+        report = verify_snapshot(snapshot, diamond_cfg)
+        assert report.ok
+        assert report.diagnostics == []
+
+    def test_clean_without_cfg(self, snapshot):
+        assert verify_snapshot(snapshot).ok
+
+
+class TestCounterMutations:
+    def test_taken_exceeds_use(self, snapshot, diamond_cfg):
+        snapshot.blocks[3].taken = 7
+        assert "counter.taken-exceeds-use" in _codes(snapshot, diamond_cfg)
+
+    def test_negative_counter(self, snapshot, diamond_cfg):
+        snapshot.blocks[0].use = -1
+        assert "counter.negative" in _codes(snapshot, diamond_cfg)
+
+    def test_zero_use_entry_warns(self, snapshot, diamond_cfg):
+        snapshot.blocks[3].use = 0
+        snapshot.blocks[3].taken = 0
+        snapshot.profiling_ops = sum(
+            p.use + p.taken for p in snapshot.blocks.values())
+        report = verify_snapshot(snapshot, diamond_cfg)
+        assert report.ok  # warning, not error
+        assert "counter.zero-use-entry" in report.codes()
+
+    def test_freeze_out_of_run(self, snapshot, diamond_cfg):
+        snapshot.blocks[2].frozen_at = 999
+        assert "counter.freeze-out-of-run" in _codes(snapshot, diamond_cfg)
+
+    def test_frozen_below_threshold(self, snapshot, diamond_cfg):
+        snapshot.threshold = 40  # entry froze with use 15 < T
+        assert "counter.frozen-below-threshold" in \
+            _codes(snapshot, diamond_cfg)
+
+    def test_frozen_above_band(self, snapshot, diamond_cfg):
+        snapshot.threshold = 5  # entry froze with use 15 > 2T = 10
+        assert "counter.frozen-above-band" in _codes(snapshot, diamond_cfg)
+
+    def test_band_not_enforced_without_register_twice(
+            self, snapshot, diamond_cfg):
+        snapshot.threshold = 5
+        config = DBTConfig(threshold=5, register_twice_triggers=False)
+        assert "counter.frozen-above-band" not in \
+            _codes(snapshot, diamond_cfg, config=config)
+
+
+class TestProfileMutations:
+    def test_ops_mismatch(self, snapshot, diamond_cfg):
+        snapshot.profiling_ops += 1
+        assert "profile.ops-mismatch" in _codes(snapshot, diamond_cfg)
+
+    def test_key_mismatch(self, snapshot, diamond_cfg):
+        snapshot.blocks[7] = snapshot.blocks.pop(3)
+        assert "profile.key-mismatch" in _codes(snapshot, diamond_cfg)
+
+    def test_frozen_but_not_in_any_region(self, snapshot, diamond_cfg):
+        snapshot.blocks[3].frozen_at = 10
+        assert "profile.frozen-not-optimized" in \
+            _codes(snapshot, diamond_cfg)
+
+    def test_frozen_without_regions(self, snapshot, diamond_cfg):
+        snapshot.regions = []
+        assert "profile.frozen-without-regions" in \
+            _codes(snapshot, diamond_cfg)
+
+
+class TestRegionMutations:
+    def test_duplicate_member(self, snapshot, diamond_cfg):
+        snapshot.regions[0].members = [1, 1]
+        assert "region.duplicate-member" in _codes(snapshot, diamond_cfg)
+
+    def test_member_out_of_range(self, snapshot, diamond_cfg):
+        snapshot.regions[0].members = [1, 99]
+        assert "region.member-out-of-range" in _codes(snapshot, diamond_cfg)
+
+    def test_malformed_region(self, snapshot, diamond_cfg):
+        snapshot.regions[0].internal_edges = [(0, 5, EdgeKind.TAKEN)]
+        assert "region.malformed" in _codes(snapshot, diamond_cfg)
+
+    def test_internal_edge_into_entry_and_cycle(self, snapshot, diamond_cfg):
+        snapshot.regions[0].internal_edges.append((1, 0, EdgeKind.ALWAYS))
+        codes = _codes(snapshot, diamond_cfg)
+        assert "region.entry-internal-edge" in codes
+        assert "region.internal-cycle" in codes
+
+    def test_unreachable_instance(self, snapshot, diamond_cfg):
+        snapshot.regions[0].internal_edges = []
+        assert "region.unreachable-instance" in _codes(snapshot, diamond_cfg)
+
+    def test_back_edge_on_linear_region(self, snapshot, diamond_cfg):
+        snapshot.regions[0].back_edges = [(1, EdgeKind.ALWAYS)]
+        assert "region.back-edge-on-linear" in _codes(snapshot, diamond_cfg)
+
+    def test_edge_kind_mismatch(self, snapshot, diamond_cfg):
+        snapshot.regions[0].exit_edges[1] = (1, EdgeKind.TAKEN, 4)
+        codes = _codes(snapshot, diamond_cfg)
+        assert "region.edge-kind-mismatch" in codes
+        assert "region.incomplete-exits" in codes
+
+    def test_edge_target_mismatch(self, snapshot, diamond_cfg):
+        snapshot.regions[0].exit_edges[1] = (1, EdgeKind.ALWAYS, 3)
+        assert "region.edge-target-mismatch" in _codes(snapshot, diamond_cfg)
+
+    def test_duplicate_region_id(self, snapshot, diamond_cfg):
+        snapshot.regions.append(copy.deepcopy(snapshot.regions[0]))
+        assert "region.duplicate-id" in _codes(snapshot, diamond_cfg)
+
+    def test_member_without_profile_warns(self, snapshot, diamond_cfg):
+        del snapshot.blocks[2]
+        snapshot.profiling_ops = sum(
+            p.use + p.taken for p in snapshot.blocks.values())
+        report = verify_snapshot(snapshot, diamond_cfg)
+        assert "region.member-unprofiled" in report.codes()
+
+    def test_member_not_frozen(self, snapshot, diamond_cfg):
+        snapshot.blocks[2].frozen_at = None
+        assert "region.member-not-frozen" in _codes(snapshot, diamond_cfg)
+
+    def test_member_frozen_after_formation(self, snapshot, diamond_cfg):
+        snapshot.blocks[2].frozen_at = 60
+        assert "region.frozen-after-formation" in \
+            _codes(snapshot, diamond_cfg)
+
+    def test_entry_freeze_step_mismatch(self, snapshot, diamond_cfg):
+        snapshot.blocks[1].frozen_at = 40
+        snapshot.regions[0].formed_at = 50
+        assert "region.entry-freeze-step" in _codes(snapshot, diamond_cfg)
+
+    def test_verify_region_directly(self, snapshot, diamond_cfg):
+        report = verify_region(snapshot.regions[0], diamond_cfg)
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# CFG and program level
+# ---------------------------------------------------------------------------
+
+class TestVerifyCfg:
+    def test_clean_cfg(self, diamond_cfg):
+        assert verify_cfg(diamond_cfg).diagnostics == []
+
+    def test_unreachable_node_warns(self):
+        cfg = ControlFlowGraph([(1,), (), (1,)])  # 2 unreachable
+        report = verify_cfg(cfg)
+        assert "cfg.unreachable" in report.codes()
+        assert report.ok  # warning only
+
+    def test_irreducible_edge_warns(self):
+        cfg = ControlFlowGraph([(1, 2), (2,), (1,)])
+        report = verify_cfg(cfg)
+        assert "cfg.irreducible" in report.codes()
+        assert "cfg.no-exit" in report.codes()  # nothing exits either
+
+
+class TestVerifyProgram:
+    def test_clean_program(self, loop_program):
+        assert verify_program(loop_program).diagnostics == []
+
+    def test_structural_error(self):
+        program = Program()
+        fn = Function("main")
+        fn.add_block(BasicBlock("entry", [ins.li("a", 1)]))  # no terminator
+        program.add_function(fn)
+        report = verify_program(program)
+        assert "ir.invalid" in report.codes()
+        assert not report.ok
+
+    def test_unreachable_block_warns(self):
+        pb = ProgramBuilder()
+        with pb.function("main") as fb:
+            fb.block("entry").li("a", 1).halt()
+            fb.block("orphan").li("b", 2).halt()
+        report = verify_program(pb.build())
+        assert "ir.suspicious" in report.codes()
+        assert report.ok
+
+    def test_undefined_read_in_entry_function(self):
+        pb = ProgramBuilder()
+        with pb.function("main") as fb:
+            fb.block("entry").mov("a", "ghost").halt()
+        report = verify_program(pb.build())
+        assert "ir.maybe-undefined-read" in report.codes()
+
+    def test_called_function_reads_are_trusted(self):
+        # registers are one global file: the helper's read of 'shared'
+        # is defined by main, so only the entry function is linted
+        pb = ProgramBuilder()
+        with pb.function("main") as fb:
+            fb.block("entry").li("shared", 3).call("helper").halt()
+        with pb.function("helper") as fb:
+            fb.block("entry").mov("out", "shared").ret()
+        report = verify_program(pb.build())
+        assert "ir.maybe-undefined-read" not in report.codes()
+
+
+# ---------------------------------------------------------------------------
+# VerifyReport mechanics
+# ---------------------------------------------------------------------------
+
+class TestVerifyReport:
+    def test_severity_partition_and_render(self):
+        report = VerifyReport()
+        report.info("a.info", "x", "fyi")
+        report.warning("b.warn", "y", "hm")
+        report.error("c.err", "z", "bad")
+        assert not report.ok
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert report.codes() == {"a.info", "b.warn", "c.err"}
+        rendered = report.render(Severity.WARNING)
+        assert "a.info" not in rendered
+        assert "warning: [b.warn] y: hm" in rendered
+        assert "error: [c.err] z: bad" in rendered
+
+    def test_extend_merges_findings(self):
+        a, b = VerifyReport(), VerifyReport()
+        b.error("x", "w", "m")
+        assert not a.extend(b).ok
+
+
+# ---------------------------------------------------------------------------
+# Whole-study verification over a real threshold sweep
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def nested_study():
+    cfg = ControlFlowGraph([
+        (1,), (2,), (3, 4), (2,), (5, 6), (7,), (7,), (8, 1), (),
+    ])
+    from repro.stochastic import ProgramBehavior, steady
+    behavior = ProgramBehavior()
+    behavior.set(2, steady(0.96))
+    behavior.set(4, steady(0.8))
+    behavior.set(7, steady(0.001))
+    ref = walk(cfg, behavior, max_steps=60_000, seed=7)
+    train = walk(cfg, behavior, max_steps=30_000, seed=11)
+    return run_threshold_sweep("nested", cfg, ref, train, [20, 50])
+
+
+def test_verify_study_clean(nested_study):
+    report = verify_study(nested_study, config=DBTConfig())
+    assert report.ok, report.render(Severity.ERROR)
+
+
+def test_verify_study_flags_corrupted_outcome(nested_study):
+    study = copy.deepcopy(nested_study)
+    snapshot = study.outcomes[20].snapshot
+    block = next(iter(snapshot.blocks.values()))
+    block.taken = block.use + 3
+    report = verify_study(study, config=DBTConfig())
+    assert not report.ok
+    assert "counter.taken-exceeds-use" in report.codes()
+
+
+def test_verify_study_bumps_failure_counter(nested_study):
+    from repro.obs import counter_value
+    study = copy.deepcopy(nested_study)
+    study.outcomes[20].snapshot.profiling_ops += 1
+    before = counter_value("analysis.studies_failed")
+    assert not verify_study(study, config=DBTConfig()).ok
+    assert counter_value("analysis.studies_failed") == before + 1
+
+
+class TestVerifyNormalization:
+    @pytest.fixture
+    def normalized(self, nested_study):
+        snapshot = nested_study.outcomes[20].snapshot
+        assert snapshot.regions, "sweep formed no regions"
+        graph = DuplicatedGraph(nested_study.cfg, snapshot)
+        return graph, normalize_avep(graph, nested_study.avep)
+
+    def test_clean_normalization(self, nested_study, normalized):
+        _, norm = normalized
+        assert verify_normalization(norm, nested_study.avep).ok
+
+    def test_negative_frequency(self, nested_study, normalized):
+        _, norm = normalized
+        norm.frequencies = norm.frequencies.copy()
+        norm.frequencies[0] = -5.0
+        report = verify_normalization(norm, nested_study.avep)
+        assert "navep.negative-frequency" in report.codes()
+
+    def test_non_finite_frequency(self, nested_study, normalized):
+        _, norm = normalized
+        norm.frequencies = norm.frequencies.copy()
+        norm.frequencies[0] = float("inf")
+        report = verify_normalization(norm, nested_study.avep)
+        assert "navep.non-finite" in report.codes()
+
+    def test_lost_flow_is_an_error(self, nested_study, normalized):
+        _, norm = normalized
+        norm.frequencies = norm.frequencies * 10.0
+        report = verify_normalization(norm, nested_study.avep)
+        assert "navep.flow-not-conserved" in report.codes()
+
+    def test_moderate_drift_is_a_warning(self, nested_study, normalized):
+        _, norm = normalized
+        norm.frequencies = norm.frequencies * 1.2  # ~20% drift
+        report = verify_normalization(norm, nested_study.avep)
+        assert report.ok
+        assert "navep.conservation-drift" in report.codes()

@@ -68,3 +68,30 @@ def test_profiling_ops_equal_counter_sums():
         table.count_use(block)
         table.count_taken(block, taken)
     assert table.profiling_ops == sum(table.use) + sum(table.taken)
+
+
+class TestBranchProbabilityGuards:
+    """branch_probability never divides by zero or wraps indices."""
+
+    def test_ratio_for_counted_block(self):
+        table = CounterTable(2)
+        for _ in range(4):
+            table.count_use(0)
+        table.count_taken(0, True)
+        assert table.branch_probability(0) == 0.25
+
+    def test_zero_use_returns_none(self):
+        table = CounterTable(2)
+        assert table.branch_probability(0) is None
+
+    def test_out_of_range_returns_none(self):
+        table = CounterTable(2)
+        assert table.branch_probability(2) is None
+        assert table.branch_probability(99) is None
+
+    def test_negative_id_returns_none(self):
+        # negative ids would silently wrap around via list indexing
+        table = CounterTable(2)
+        table.count_use(1)
+        table.count_taken(1, True)
+        assert table.branch_probability(-1) is None

@@ -171,3 +171,43 @@ def test_internal_cycles_avoided():
     for s, d, _ in region.internal_edges:
         succs[s].append(d)
     topological_order(succs, roots=[0])  # raises on a cycle
+
+
+class TestProbabilityHelpers:
+    """The module-level BP/edge-probability helpers never divide by zero."""
+
+    def test_branch_probability_ratio(self):
+        from repro.dbt.regions import branch_probability
+        assert branch_probability(_counters({3: (10, 4)}), 3) == 0.4
+
+    def test_branch_probability_zero_use_is_none(self):
+        from repro.dbt.regions import branch_probability
+        assert branch_probability(_counters({}), 3) is None
+        assert branch_probability(_counters({3: (0, 0)}), 3) is None
+
+    def test_edge_probabilities_unprofiled_branch_gets_prior(self):
+        from repro.dbt.regions import edge_probabilities
+        from repro.profiles import EdgeKind
+        cfg = ControlFlowGraph([(1, 2), (), ()])
+        edges = edge_probabilities(cfg, _counters({}), 0)
+        assert edges == [(1, EdgeKind.TAKEN, 0.5), (2, EdgeKind.FALL, 0.5)]
+
+    def test_edge_probabilities_profiled_branch(self):
+        from repro.dbt.regions import edge_probabilities
+        from repro.profiles import EdgeKind
+        cfg = ControlFlowGraph([(1, 2), (), ()])
+        edges = edge_probabilities(cfg, _counters({0: (10, 8)}), 0)
+        assert edges == [(1, EdgeKind.TAKEN, 0.8),
+                         (2, EdgeKind.FALL, 0.19999999999999996)]
+
+    def test_edge_probabilities_single_successor(self):
+        from repro.dbt.regions import edge_probabilities
+        from repro.profiles import EdgeKind
+        cfg = ControlFlowGraph([(1,), ()])
+        assert edge_probabilities(cfg, _counters({}), 0) == \
+            [(1, EdgeKind.ALWAYS, 1.0)]
+
+    def test_edge_probabilities_exit_block(self):
+        from repro.dbt.regions import edge_probabilities
+        cfg = ControlFlowGraph([(1,), ()])
+        assert edge_probabilities(cfg, _counters({}), 1) == []

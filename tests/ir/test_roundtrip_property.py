@@ -1,0 +1,101 @@
+"""Property: ``parse_program(format_program(p)) == p`` for random programs.
+
+The printer documents itself as the inverse of the parser; this pins the
+contract down over hypothesis-generated multi-function, multi-block
+programs covering every printable instruction form.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import Cond, format_program, parse_program
+from repro.ir import instructions as ins
+from repro.ir.instructions import Opcode
+from repro.ir.program import BasicBlock, Function, Program
+
+REGS = ["r0", "r1", "r2", "r3"]
+ALU = [Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR,
+       Opcode.XOR, Opcode.SHL, Opcode.SHR]
+CONDS = list(Cond)
+
+
+@st.composite
+def _straightline(draw, function_names):
+    kind = draw(st.integers(0, 6))
+    rd = draw(st.sampled_from(REGS))
+    rs1 = draw(st.sampled_from(REGS))
+    rs2 = draw(st.sampled_from(REGS))
+    if kind == 0:
+        return ins.li(rd, draw(st.integers(-1000, 1000)))
+    if kind == 1:
+        return ins.mov(rd, rs1)
+    if kind == 2:
+        return ins.neg(rd, rs1)
+    if kind == 3:
+        return ins.binop(draw(st.sampled_from(ALU)), rd, rs1, rs2)
+    if kind == 4:
+        return ins.load(rd, rs1, draw(st.integers(0, 63)))
+    if kind == 5:
+        return ins.store(rd, rs1, draw(st.integers(0, 63)))
+    return ins.call(draw(st.sampled_from(function_names)))
+
+
+@st.composite
+def _function(draw, name, function_names, can_halt):
+    num_blocks = draw(st.integers(1, 4))
+    labels = [f"b{i}" for i in range(num_blocks)]
+    fn = Function(name)
+    for i, label in enumerate(labels):
+        body = draw(st.lists(_straightline(function_names),
+                             min_size=0, max_size=4))
+        kind = draw(st.integers(0, 2 if can_halt else 1))
+        if kind == 0 and num_blocks > 1:
+            target = draw(st.sampled_from(labels))
+            fall = draw(st.sampled_from(labels))
+            terminator = ins.br(draw(st.sampled_from(CONDS)),
+                                draw(st.sampled_from(REGS)),
+                                draw(st.sampled_from(REGS)),
+                                target, fall)
+        elif kind == 1 and num_blocks > 1:
+            terminator = ins.jmp(draw(st.sampled_from(labels)))
+        elif can_halt:
+            terminator = ins.halt()
+        else:
+            terminator = ins.ret()
+        fn.add_block(BasicBlock(label, body + [terminator]))
+    return fn
+
+
+@st.composite
+def programs(draw):
+    num_helpers = draw(st.integers(0, 2))
+    names = ["main"] + [f"fn{i}" for i in range(num_helpers)]
+    program = Program()
+    for name in names:
+        program.add_function(
+            draw(_function(name, names, can_halt=(name == "main"))))
+    return program
+
+
+@settings(max_examples=150, deadline=None)
+@given(programs())
+def test_parse_inverts_format(program):
+    text = format_program(program)
+    # validate=False: generated programs may have unreachable blocks or
+    # jmp-only cycles; syntactic fidelity is the property under test
+    assert parse_program(text, validate=False) == program
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_round_trip_is_a_fixed_point(program):
+    once = format_program(program)
+    assert format_program(parse_program(once, validate=False)) == once
+
+
+def test_negative_immediates_round_trip():
+    program = Program()
+    fn = Function("main")
+    fn.add_block(BasicBlock("entry", [ins.li("a", -42), ins.halt()]))
+    program.add_function(fn)
+    assert parse_program(format_program(program)) == program

@@ -93,3 +93,61 @@ def test_function_with_no_blocks():
     program.add_function(Function("main"))
     with pytest.raises(ValidationError, match="no blocks"):
         validate_program(program)
+
+
+class TestProgramDiagnostics:
+    """Advisory diagnostics: duplicate/mislabelled and unreachable blocks."""
+
+    def test_clean_program_has_no_diagnostics(self):
+        from repro.ir.validate import program_diagnostics
+        program = _program_with(BasicBlock("entry", [ins.halt()]))
+        diags = program_diagnostics(program)
+        assert diags.ok
+        assert diags.warnings == []
+
+    def test_mislabelled_block_is_an_error(self):
+        from repro.ir.validate import program_diagnostics
+        program = _program_with(BasicBlock("entry", [ins.halt()]))
+        fn = program.functions["main"]
+        # alias the same block under a second key: the "duplicate label"
+        # shape that survives dict-based construction
+        fn.blocks["alias"] = fn.blocks["entry"]
+        diags = program_diagnostics(program)
+        assert not diags.ok
+        assert any("mislabelled/duplicated" in message
+                   for _, message in diags.errors)
+
+    def test_unreachable_block_is_a_warning(self):
+        from repro.ir.validate import program_diagnostics
+        program = _program_with(BasicBlock("entry", [ins.halt()]))
+        program.functions["main"].add_block(
+            BasicBlock("orphan", [ins.halt()]))
+        diags = program_diagnostics(program)
+        assert diags.ok  # warning only: the program still validates
+        assert ("main:orphan",
+                "block is unreachable from the function entry") \
+            in diags.warnings
+
+    def test_structural_errors_are_collected_not_raised(self):
+        from repro.ir.validate import collect_errors
+        program = _program_with(BasicBlock("entry", [ins.nop()]))
+        errors = collect_errors(program)
+        assert any("terminator" in e for e in errors)
+
+
+class TestParserDuplicateDiagnostics:
+    def test_duplicate_block_label_reports_line(self):
+        from repro.ir import ParseError, parse_program
+        text = "func main:\nentry:\n    halt\nentry:\n    halt\n"
+        with pytest.raises(ParseError, match="duplicate block label") \
+                as excinfo:
+            parse_program(text)
+        assert excinfo.value.line == 4
+
+    def test_duplicate_function_reports_line(self):
+        from repro.ir import ParseError, parse_program
+        text = "func main:\nentry:\n    halt\nfunc main:\n"
+        with pytest.raises(ParseError, match="duplicate function") \
+                as excinfo:
+            parse_program(text)
+        assert excinfo.value.line == 4
