@@ -35,14 +35,14 @@ def _strip_manifest_bytes(results) -> bytes:
         results.manifest = manifest
 
 
-def bench_full_study(jobs: int, scale: float):
+def bench_full_study(jobs: int, scale: float, kernel=None):
     from repro.harness import run_full_study
 
     started = time.perf_counter()
     results = run_full_study(names=BENCH_NAMES,
                              thresholds=BENCH_THRESHOLDS,
                              steps_scale=scale, include_perf=True,
-                             cache_dir=None, jobs=jobs)
+                             cache_dir=None, jobs=jobs, kernel=kernel)
     return time.perf_counter() - started, results
 
 
@@ -100,6 +100,24 @@ def main(argv=None) -> int:
     print(f"replay sweep: per-threshold {single_sum:.3f}s vs "
           f"single-pass {multi:.3f}s ({replay_speedup:.2f}x)")
 
+    # Scalar vs vector event kernel over the same reduced study (serial,
+    # so the comparison is not confounded by pool scheduling).  The
+    # figure data must be byte-identical — the kernels differ only in
+    # how fast they produce the same event stream.
+    scalar_seconds, scalar_results = bench_full_study(jobs=1,
+                                                      scale=args.scale,
+                                                      kernel="scalar")
+    vector_seconds, vector_results = bench_full_study(jobs=1,
+                                                      scale=args.scale,
+                                                      kernel="vector")
+    kernels_identical = _strip_manifest_bytes(scalar_results) == \
+        _strip_manifest_bytes(vector_results)
+    kernel_speedup = (scalar_seconds / vector_seconds
+                      if vector_seconds else 0.0)
+    print(f"kernel: scalar {scalar_seconds:.2f}s vs vector "
+          f"{vector_seconds:.2f}s ({kernel_speedup:.2f}x end-to-end, "
+          f"figure data identical: {kernels_identical})")
+
     payload = {
         "benchmarks": BENCH_NAMES,
         "thresholds": BENCH_THRESHOLDS,
@@ -115,12 +133,20 @@ def main(argv=None) -> int:
             "single_pass_seconds": round(multi, 3),
             "speedup": round(replay_speedup, 3),
         },
+        "kernel": {
+            "scalar_seconds": round(scalar_seconds, 3),
+            "vector_seconds": round(vector_seconds, 3),
+            "end_to_end_speedup": round(kernel_speedup, 3),
+            "figure_data_identical": kernels_identical,
+            "note": "whole-study wall time; the walker-path speedup "
+                    "itself is measured by benchmarks/bench_kernel.py",
+        },
     }
     with open(args.out, "w") as f:
         json.dump(payload, f, indent=2)
         f.write("\n")
     print(f"wrote {args.out}")
-    return 0 if identical else 1
+    return 0 if identical and kernels_identical else 1
 
 
 if __name__ == "__main__":

@@ -32,7 +32,7 @@ from ..cfg.loops import LoopForest, find_loops
 from ..obs.registry import inc
 from ..obs.spans import span
 from ..profiles.model import ProfileSnapshot, Region
-from ..stochastic.trace import ExecutionTrace
+from ..stochastic.trace import ExecutionTrace, assemble_trace
 from .codecache import TranslationMap, translation_map_from_replay
 from .config import DBTConfig
 from .pool import CandidatePool
@@ -114,6 +114,23 @@ class MultiThresholdReplay:
                 self.states[t] = ThresholdReplayState(
                     trace, cfg, base_config.with_threshold(t), self.loops)
         self._ran = False
+
+    @classmethod
+    def from_batches(cls, batches, cfg: ControlFlowGraph,
+                     thresholds: Sequence[int],
+                     base_config: Optional[DBTConfig] = None,
+                     loops: Optional[LoopForest] = None
+                     ) -> "MultiThresholdReplay":
+        """Ingest a streaming event-batch producer (the vector kernel).
+
+        Concatenates the batches into the shared trace while updating
+        the per-block counter tables chunk by chunk (see
+        :func:`repro.stochastic.trace.assemble_trace`), so none of the
+        threshold states pays a full-trace argsort.
+        """
+        trace = assemble_trace(batches, cfg.num_nodes, build_index=True)
+        return cls(trace, cfg, thresholds, base_config=base_config,
+                   loops=loops)
 
     @property
     def thresholds(self) -> List[int]:

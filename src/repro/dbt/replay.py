@@ -26,7 +26,7 @@ from ..cfg.loops import LoopForest, find_loops
 from ..obs.registry import inc
 from ..obs.spans import span
 from ..profiles.model import BlockProfile, ProfileSnapshot, Region
-from ..stochastic.trace import BlockEvents, ExecutionTrace
+from ..stochastic.trace import BlockEvents, ExecutionTrace, assemble_trace
 from .codecache import TranslationMap, translation_map_from_replay
 from .config import DBTConfig
 from .pool import CandidatePool
@@ -134,6 +134,20 @@ class ReplayDBT:
         self._events = trace.events()
         self._ran = False
         self._tmap: Optional[TranslationMap] = None
+
+    @classmethod
+    def from_batches(cls, batches, cfg: ControlFlowGraph,
+                     config: DBTConfig,
+                     loops: Optional[LoopForest] = None) -> "ReplayDBT":
+        """Ingest a streaming event-batch producer (the vector kernel).
+
+        The batches are concatenated into the trace while the per-block
+        use/taken counter tables (the event index) are updated chunk by
+        chunk, so the replay never pays a full-trace argsort.  Identical
+        to constructing from the equivalent recorded trace.
+        """
+        trace = assemble_trace(batches, cfg.num_nodes, build_index=True)
+        return cls(trace, cfg, config, loops=loops)
 
     # -- frozen-aware counter view --------------------------------------------
 

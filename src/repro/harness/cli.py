@@ -113,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the semantic verifier over every "
                              "study (default: $REPRO_VERIFY, else off); "
                              "error-severity findings exit with code 4")
+    parser.add_argument("--kernel", choices=["scalar", "vector"],
+                        default=None,
+                        help="trace-recording engine (default: "
+                             "$REPRO_KERNEL, else vector; results are "
+                             "byte-identical — scalar is the slow "
+                             "oracle the vector kernel is tested "
+                             "against)")
     parser.add_argument("--verbose", action="store_true",
                         help="print per-benchmark progress")
     parser.add_argument("--summary", metavar="BENCH", default=None,
@@ -163,7 +170,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                              use_cache=not args.no_cache,
                              jobs=args.jobs, retries=args.retries,
                              job_timeout=args.job_timeout,
-                             verify=args.verify)
+                             verify=args.verify, kernel=args.kernel)
     if args.figures:
         wanted = args.figures
     else:
@@ -197,7 +204,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         retries=args.retries,
         job_timeout=args.job_timeout,
-        verify=args.verify)
+        verify=args.verify,
+        kernel=args.kernel)
 
     for number in wanted:
         builder = FIGURES.get(number)
@@ -225,7 +233,8 @@ def print_summary(name: str, steps_scale: float = 1.0,
                   jobs: Optional[int] = None,
                   retries: Optional[int] = None,
                   job_timeout: Optional[float] = None,
-                  verify: Optional[bool] = None) -> int:
+                  verify: Optional[bool] = None,
+                  kernel: Optional[str] = None) -> int:
     """Print one benchmark's complete study card."""
     from ..workloads.spec import nominal_label
     from .tables import Table
@@ -238,7 +247,7 @@ def print_summary(name: str, steps_scale: float = 1.0,
         include_perf=include_perf,
         cache_dir=DEFAULT_CACHE_DIR if use_cache else None,
         jobs=jobs, retries=retries, job_timeout=job_timeout,
-        verify=verify)
+        verify=verify, kernel=kernel)
     if name not in results.benchmarks:
         return _report_quarantine(results)
     result = results.benchmarks[name]

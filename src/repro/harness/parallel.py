@@ -56,6 +56,7 @@ from ..obs import spans as obsspans
 from ..obs.registry import inc
 from ..obs.spans import span
 from ..perfmodel.costs import CostModel
+from ..stochastic.kernel import resolve_kernel
 from ..workloads.spec import get_benchmark
 from . import faults
 from .results import BenchmarkResult
@@ -145,7 +146,7 @@ class DispatchResult:
 #: A study job as shipped to a worker (everything here pickles).  The
 #: final element is the fault kind the parent drew for this attempt.
 Job = Tuple[str, Tuple[int, ...], DBTConfig, CostModel, float, bool,
-            bool, Optional[str]]
+            bool, str, Optional[str]]
 
 
 def _pool_worker_init() -> None:
@@ -156,7 +157,7 @@ def _pool_worker_init() -> None:
 def _study_worker(job: Job) -> WorkerOutput:
     """Run one benchmark's study in a worker process."""
     (name, thresholds, config, costs, steps_scale, include_perf, verify,
-     inject) = job
+     kernel, inject) = job
     # A forked worker inherits the parent's registry/trace contents (and
     # a pool worker keeps state across jobs) — start each job clean so
     # the returned state is exactly this benchmark's signals.
@@ -170,7 +171,8 @@ def _study_worker(job: Job) -> WorkerOutput:
     benchmark = get_benchmark(name)
     result = study_benchmark(benchmark, thresholds, config=config,
                              costs=costs, steps_scale=steps_scale,
-                             include_perf=include_perf, verify=verify)
+                             include_perf=include_perf, verify=verify,
+                             kernel=kernel)
     elapsed = time.perf_counter() - started
     return WorkerOutput(name=name, result=result, seconds=elapsed,
                         metrics=obsregistry.export_state(),
@@ -521,6 +523,7 @@ def dispatch_study_jobs(
         plan: Optional[faults.FaultPlan] = None,
         on_output: Optional[Callable[[WorkerOutput], None]] = None,
         verify: bool = False,
+        kernel: Optional[str] = None,
 ) -> DispatchResult:
     """Fan ``study_benchmark`` jobs out with retries and quarantine.
 
@@ -536,6 +539,10 @@ def dispatch_study_jobs(
             :class:`WorkerOutput` (progress logging, incremental shard
             writes).  Runs in the parent process.
         verify: run the semantic verifier inside every study job.
+        kernel: trace-recording engine shipped to every job (default
+            per :func:`repro.stochastic.kernel.resolve_kernel` — the
+            worker must not re-read the environment, or a parent-side
+            explicit choice would not survive the process hop).
 
     Returns a :class:`DispatchResult`; the caller merges observability
     deterministically and decides what quarantined benchmarks mean.
@@ -544,8 +551,9 @@ def dispatch_study_jobs(
     policy = policy or RetryPolicy()
     plan = plan if plan is not None else faults.FaultPlan.from_env()
     on_output = on_output or (lambda output: None)
+    kernel = resolve_kernel(kernel)
     job_tail = (tuple(thresholds), config, costs, steps_scale, include_perf,
-                verify)
+                verify, kernel)
     workers = min(jobs, len(names))
     if workers <= 1:
         if policy.job_timeout is not None:

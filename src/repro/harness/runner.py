@@ -38,6 +38,7 @@ from ..obs.registry import inc, merge_state, observe
 from ..obs.spans import extend_trace, span
 from ..perfmodel.costs import DEFAULT_COSTS, CostModel
 from ..perfmodel.execution import estimate_cost
+from ..stochastic.kernel import resolve_kernel
 from ..workloads.spec import (BASE_THRESHOLD, SIM_THRESHOLDS,
                               SyntheticBenchmark, all_benchmarks)
 from .faults import (FaultPlan, resolve_job_timeout, resolve_retries,
@@ -131,7 +132,8 @@ def study_benchmark(benchmark: SyntheticBenchmark,
                     costs: CostModel = DEFAULT_COSTS,
                     steps_scale: float = 1.0,
                     include_perf: bool = True,
-                    verify: Optional[bool] = None) -> BenchmarkResult:
+                    verify: Optional[bool] = None,
+                    kernel: Optional[str] = None) -> BenchmarkResult:
     """Run the complete study for one benchmark and distil the numbers.
 
     Args:
@@ -145,16 +147,21 @@ def study_benchmark(benchmark: SyntheticBenchmark,
         verify: run the semantic verifier over the finished study
             (default: ``$REPRO_VERIFY``, else off).  Findings at
             warning+ severity land in the result's ``verify_findings``.
+        kernel: trace-recording engine, ``"scalar"`` or ``"vector"``
+            (default: ``$REPRO_KERNEL``, else ``"vector"``).  Results
+            are byte-identical either way, so the kernel is not part of
+            the cache fingerprint.
     """
     config = config or DBTConfig()
     verify = resolve_verify(verify)
+    kernel = resolve_kernel(kernel)
     if steps_scale != 1.0:
         benchmark = benchmark.scaled(steps_scale)
 
     with span("study_benchmark", bench=benchmark.name):
-        with span("record_traces", bench=benchmark.name):
-            ref_trace = benchmark.trace("ref")
-            train_trace = benchmark.trace("train")
+        with span("record_traces", bench=benchmark.name, kernel=kernel):
+            ref_trace = benchmark.trace("ref", kernel=kernel)
+            train_trace = benchmark.trace("train", kernel=kernel)
         loops = benchmark.loop_forest()
         with span("threshold_sweep", bench=benchmark.name,
                   thresholds=len(thresholds)):
@@ -303,7 +310,8 @@ def run_full_study(names: Optional[Iterable[str]] = None,
                    jobs: Optional[int] = None,
                    retries: Optional[int] = None,
                    job_timeout: Optional[float] = None,
-                   verify: Optional[bool] = None) -> StudyResults:
+                   verify: Optional[bool] = None,
+                   kernel: Optional[str] = None) -> StudyResults:
     """Run (or load from cache) the full evaluation study.
 
     With the default arguments this reproduces every figure's raw data
@@ -331,6 +339,11 @@ def run_full_study(names: Optional[Iterable[str]] = None,
             ``$REPRO_VERIFY``, else off); findings are attached to each
             benchmark's result and summarised in the manifest.  Verified
             runs use their own cache fingerprints.
+        kernel: trace-recording engine, ``"scalar"`` or ``"vector"``
+            (default: ``$REPRO_KERNEL``, else ``"vector"``).  Both
+            kernels produce byte-identical results, so the kernel is
+            not part of any cache fingerprint — it is recorded in the
+            run manifest instead.
         verbose: emit per-benchmark progress through the structured
             logger (auto-configured at info level if
             :func:`repro.obs.configure` has not been called yet).
@@ -341,6 +354,7 @@ def run_full_study(names: Optional[Iterable[str]] = None,
     names = dedupe_names(list(names))
     jobs = resolve_jobs(jobs)
     verify = resolve_verify(verify)
+    kernel = resolve_kernel(kernel)
     policy = RetryPolicy(retries=resolve_retries(retries),
                          job_timeout=resolve_job_timeout(job_timeout))
 
@@ -364,15 +378,15 @@ def run_full_study(names: Optional[Iterable[str]] = None,
     try:
         return _compute_study(
             names, thresholds, config, costs, steps_scale, include_perf,
-            verify, cache_dir, cache_path, key, confkey, jobs, policy,
-            plan)
+            verify, kernel, cache_dir, cache_path, key, confkey, jobs,
+            policy, plan)
     finally:
         set_active_plan(None)
 
 
 def _compute_study(names, thresholds, config, costs, steps_scale,
-                   include_perf, verify, cache_dir, cache_path, key,
-                   confkey, jobs, policy, plan) -> StudyResults:
+                   include_perf, verify, kernel, cache_dir, cache_path,
+                   key, confkey, jobs, policy, plan) -> StudyResults:
     """The cache-miss path of :func:`run_full_study`."""
     collected: Dict[str, BenchmarkResult] = {}
     timings: Dict[str, float] = {}
@@ -412,7 +426,7 @@ def _compute_study(names, thresholds, config, costs, steps_scale,
             dispatch = dispatch_study_jobs(
                 pending, thresholds, config, costs, steps_scale,
                 include_perf, jobs=jobs, policy=policy, plan=plan,
-                on_output=_absorb, verify=verify)
+                on_output=_absorb, verify=verify, kernel=kernel)
             failures = dispatch.failures
             for name in pending:  # deterministic merge order
                 output = dispatch.outputs.get(name)
@@ -434,6 +448,7 @@ def _compute_study(names, thresholds, config, costs, steps_scale,
                "retries": policy.retries,
                "job_timeout": policy.job_timeout,
                "verify": verify,
+               "kernel": kernel,
                "verify_findings": {
                    name: len(result.verify_findings)
                    for name, result in sorted(collected.items())

@@ -5,8 +5,9 @@ executes programs while emitting the block/branch event stream
 (:class:`ExecutionListener`) that profilers and the live translator consume.
 """
 
-from .events import (ExecutionListener, NullListener, RecordingListener,
-                     TeeListener)
+from .events import (BatchListener, EventBatch, ExecutionListener,
+                     NullListener, RecordingListener, TeeListener,
+                     iter_trace_batches, replay_batches)
 from .interpreter import (DEFAULT_STEP_LIMIT, Interpreter, RunResult,
                           run_program)
 from .machine import (DEFAULT_MAX_CALL_DEPTH, DEFAULT_MEMORY_WORDS, Frame,
@@ -14,7 +15,8 @@ from .machine import (DEFAULT_MAX_CALL_DEPTH, DEFAULT_MEMORY_WORDS, Frame,
 
 __all__ = [
     "DEFAULT_MAX_CALL_DEPTH", "DEFAULT_MEMORY_WORDS", "DEFAULT_STEP_LIMIT",
-    "ExecutionListener", "Frame", "Interpreter", "MachineState",
-    "NullListener", "RecordingListener", "RunResult", "TeeListener",
+    "BatchListener", "EventBatch", "ExecutionListener", "Frame",
+    "Interpreter", "MachineState", "NullListener", "RecordingListener",
+    "RunResult", "TeeListener", "iter_trace_batches", "replay_batches",
     "run_program",
 ]

@@ -2,11 +2,34 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cfg import ControlFlowGraph
 from repro.ir import Cond, ProgramBuilder
 from repro.stochastic import ProgramBehavior, steady, walk
+
+#: Runtime knobs the suite must not inherit from the developer's shell —
+#: a stray REPRO_JOBS=1 or REPRO_KERNEL=scalar would silently change
+#: what the tests exercise.
+_REPRO_ENV_VARS = ("REPRO_JOBS", "REPRO_KERNEL", "REPRO_FAULT_SPEC",
+                   "REPRO_VERIFY", "REPRO_RETRIES", "REPRO_JOB_TIMEOUT")
+
+#: CI sets this to run the tier-1 suite once per kernel; it is applied
+#: as REPRO_KERNEL *after* the scrub, so it is the one sanctioned way
+#: to parameterise the suite by kernel from the outside.
+_TEST_KERNEL_VAR = "REPRO_TEST_KERNEL"
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_repro_env(monkeypatch):
+    """Clear every ``REPRO_*`` runtime knob around each test."""
+    for var in _REPRO_ENV_VARS:
+        monkeypatch.delenv(var, raising=False)
+    test_kernel = os.environ.get(_TEST_KERNEL_VAR)
+    if test_kernel:
+        monkeypatch.setenv("REPRO_KERNEL", test_kernel)
 
 
 @pytest.fixture
