@@ -20,6 +20,7 @@ from ..cfg.loops import LoopForest, find_loops
 from ..dbt.config import DBTConfig
 from ..dbt.multireplay import MultiThresholdReplay, ThresholdReplayState
 from ..dbt.replay import ReplayDBT
+from ..obs.spans import span
 from ..profiles.merge import avep_from_trace
 from ..profiles.model import ProfileSnapshot
 from ..stochastic.trace import ExecutionTrace
@@ -120,12 +121,13 @@ def run_threshold_sweep(name: str,
     base_config = base_config or DBTConfig()
     loops = loops or find_loops(cfg)
 
-    avep = avep_from_trace(ref_trace, input_name="ref", label="AVEP")
-    train_profile = avep_from_trace(train_trace, input_name="train",
-                                    label="INIP(train)")
-    train_comparison = compare_flat_profiles(cfg, train_profile, avep)
-    train_region_comparison = compare_train_regions(
-        cfg, train_profile, avep, config=base_config, loops=loops)
+    with span("sweep.profiles", bench=name):
+        avep = avep_from_trace(ref_trace, input_name="ref", label="AVEP")
+        train_profile = avep_from_trace(train_trace, input_name="train",
+                                        label="INIP(train)")
+        train_comparison = compare_flat_profiles(cfg, train_profile, avep)
+        train_region_comparison = compare_train_regions(
+            cfg, train_profile, avep, config=base_config, loops=loops)
 
     # One merged pass over the reference trace maintains every
     # threshold's freeze state simultaneously (event-for-event equivalent
@@ -135,8 +137,10 @@ def run_threshold_sweep(name: str,
     outcomes: Dict[int, ThresholdOutcome] = {}
     for threshold in dict.fromkeys(thresholds):
         state = multi.state(threshold)
-        snapshot = state.snapshot(input_name="ref")
-        comparison = compare_inip_to_avep(cfg, snapshot, avep)
+        with span("sweep.snapshot", bench=name, threshold=threshold):
+            snapshot = state.snapshot(input_name="ref")
+        with span("sweep.navep", bench=name, threshold=threshold):
+            comparison = compare_inip_to_avep(cfg, snapshot, avep)
         outcomes[threshold] = ThresholdOutcome(
             threshold=threshold, snapshot=snapshot, comparison=comparison,
             replay=state)

@@ -29,6 +29,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..cfg.graph import ControlFlowGraph
 from ..cfg.loops import LoopForest, find_loops
+from ..obs.profile import sampled_span
 from ..obs.registry import inc
 from ..obs.spans import span
 from ..profiles.model import ProfileSnapshot, Region
@@ -193,9 +194,11 @@ class MultiThresholdReplay:
         if not pool_blocks:
             return
         counters = frozen_counter_view(events, state.freeze_step, now)
-        result = state.former.form(
-            pool_blocks, counters, state.optimized,
-            next_region_id=len(state.regions), formed_at=now)
+        with sampled_span("region.form", threshold=state.config.threshold,
+                          blocks=len(pool_blocks)):
+            result = state.former.form(
+                pool_blocks, counters, state.optimized,
+                next_region_id=len(state.regions), formed_at=now)
         state.regions.extend(result.regions)
         for b in result.newly_optimized:
             state.freeze_step[b] = now

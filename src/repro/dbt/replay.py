@@ -23,6 +23,7 @@ import numpy as np
 
 from ..cfg.graph import ControlFlowGraph
 from ..cfg.loops import LoopForest, find_loops
+from ..obs.profile import sampled_span
 from ..obs.registry import inc
 from ..obs.spans import span
 from ..profiles.model import BlockProfile, ProfileSnapshot, Region
@@ -205,9 +206,11 @@ class ReplayDBT:
             inc("pool.evictions", len(drained) - len(pool_blocks))
         if not pool_blocks:
             return
-        result = self.former.form(
-            pool_blocks, self._counters_at(now), self.optimized,
-            next_region_id=len(self.regions), formed_at=now)
+        with sampled_span("region.form", threshold=self.config.threshold,
+                          blocks=len(pool_blocks)):
+            result = self.former.form(
+                pool_blocks, self._counters_at(now), self.optimized,
+                next_region_id=len(self.regions), formed_at=now)
         self.regions.extend(result.regions)
         for b in result.newly_optimized:
             self.freeze_step[b] = now

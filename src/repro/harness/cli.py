@@ -44,6 +44,9 @@ def _report_quarantine(results) -> int:
         print(f"quarantined: {name} ({info['reason']} after "
               f"{info['attempts']} attempts): {info['error']}",
               file=sys.stderr)
+        if info.get("flight_record"):
+            print(f"  flight record: {info['flight_record']}",
+                  file=sys.stderr)
     print(f"{len(failed)} benchmark(s) quarantined; figures cover the "
           f"remaining benchmarks only", file=sys.stderr)
     return EXIT_QUARANTINE
@@ -120,6 +123,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "byte-identical — scalar is the slow "
                              "oracle the vector kernel is tested "
                              "against)")
+    parser.add_argument("--profile", action="store_true", default=None,
+                        help="arm the fine-grained profiling spans in "
+                             "every worker (default: $REPRO_PROFILE, "
+                             "else off; figures are byte-identical "
+                             "either way — this only sharpens the phase "
+                             "attribution in --stats and the trace)")
+    parser.add_argument("--flight-dir", metavar="DIR", default=None,
+                        help="write flight-recorder dumps for failed "
+                             "benchmarks into DIR (default: "
+                             "$REPRO_FLIGHT_DIR, else <cache>/flight)")
     parser.add_argument("--verbose", action="store_true",
                         help="print per-benchmark progress")
     parser.add_argument("--summary", metavar="BENCH", default=None,
@@ -205,7 +218,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         retries=args.retries,
         job_timeout=args.job_timeout,
         verify=args.verify,
-        kernel=args.kernel)
+        kernel=args.kernel,
+        profile=args.profile,
+        flight_dir=args.flight_dir)
 
     for number in wanted:
         builder = FIGURES.get(number)

@@ -41,7 +41,9 @@ bit-identical to ``--jobs 1`` even through retries.
 from __future__ import annotations
 
 import os
+import pickle
 import time
+import traceback
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
 from concurrent.futures import wait as futures_wait
@@ -50,9 +52,12 @@ from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
 
 from ..dbt.config import DBTConfig
+from ..obs import flightrec
 from ..obs import log as obslog
+from ..obs import profile as obsprofile
 from ..obs import registry as obsregistry
 from ..obs import spans as obsspans
+from ..obs.dispatch import JobTimeline
 from ..obs.registry import inc
 from ..obs.spans import span
 from ..perfmodel.costs import CostModel
@@ -90,13 +95,62 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 @dataclass
 class WorkerOutput:
-    """One benchmark's study result plus the worker's observability."""
+    """One benchmark's study result plus the worker's observability.
+
+    The three timestamps come from ``time.perf_counter()`` —
+    CLOCK_MONOTONIC on Linux, shared between parent and (forked or
+    spawned) worker — so the parent can subtract them from its own
+    clock readings to split queue wait, spawn cost and result transfer
+    out of the job's wall time.
+    """
 
     name: str
     result: BenchmarkResult
     seconds: float
     metrics: Dict[str, Dict]
     spans: List[Dict[str, Any]]
+    pid: int = 0
+    spawned_at: Optional[float] = None  # worker-init perf_counter
+    started_at: float = 0.0             # job start in the worker
+    finished_at: float = 0.0            # job end in the worker
+
+
+class WorkerJobError(RuntimeError):
+    """A study job failed inside a worker; carries its flight ring.
+
+    Arbitrary worker exceptions do not always survive pickling back to
+    the parent, and even when they do they arrive without the worker's
+    recent history.  The worker entry point wraps every failure in this
+    (explicitly picklable) envelope: the original error rendered as
+    text, the worker's flight-recorder ring, and the formatted
+    traceback — everything the parent needs to write a diagnosis dump.
+    """
+
+    def __init__(self, message: str,
+                 flight: Optional[List[Dict[str, Any]]] = None,
+                 traceback_text: str = ""):
+        super().__init__(message)
+        self.message = message
+        self.flight = flight or []
+        self.traceback_text = traceback_text
+
+    def __reduce__(self):
+        return (WorkerJobError,
+                (self.message, self.flight, self.traceback_text))
+
+
+def _error_text(exc: BaseException) -> str:
+    """A failure's display string, unwrapping the worker envelope."""
+    if isinstance(exc, WorkerJobError):
+        return exc.message
+    return f"{exc.__class__.__name__}: {exc}"
+
+
+def _flight_of(exc: BaseException) -> Optional[List[Dict[str, Any]]]:
+    """The worker flight ring shipped with a failure, if any."""
+    if isinstance(exc, WorkerJobError):
+        return exc.flight
+    return None
 
 
 @dataclass(frozen=True)
@@ -133,6 +187,7 @@ class JobFailure:
     reason: str  #: ``"timeout"`` | ``"crash"`` | ``"error"``
     attempts: int
     error: str
+    flight_record: Optional[str] = None  #: path of the diagnosis dump
 
 
 @dataclass
@@ -141,56 +196,85 @@ class DispatchResult:
 
     outputs: Dict[str, WorkerOutput] = field(default_factory=dict)
     failures: Dict[str, JobFailure] = field(default_factory=dict)
+    #: Per-attempt dispatch timelines, in completion order.
+    records: List[JobTimeline] = field(default_factory=list)
+    #: Worker flight rings shipped with failures, keyed by benchmark.
+    flights: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
 
 
 #: A study job as shipped to a worker (everything here pickles).  The
-#: final element is the fault kind the parent drew for this attempt.
+#: last two elements are the profiling flag and the fault kind the
+#: parent drew for this attempt.
 Job = Tuple[str, Tuple[int, ...], DBTConfig, CostModel, float, bool,
-            bool, str, Optional[str]]
+            bool, str, bool, Optional[str]]
+
+#: perf_counter() at pool-worker initialisation (None in the parent).
+_WORKER_SPAWNED_AT: Optional[float] = None
 
 
-def _pool_worker_init() -> None:
-    """Pool initializer: lets injected crashes really kill the worker."""
+def _pool_worker_init(profile: bool = False) -> None:
+    """Pool initializer: stamp spawn time, arm faults and profiling."""
+    global _WORKER_SPAWNED_AT
+    _WORKER_SPAWNED_AT = time.perf_counter()
     faults.mark_worker_process()
+    obsprofile.set_profiling(profile)
 
 
 def _study_worker(job: Job) -> WorkerOutput:
     """Run one benchmark's study in a worker process."""
     (name, thresholds, config, costs, steps_scale, include_perf, verify,
-     kernel, inject) = job
+     kernel, profile, inject) = job
     # A forked worker inherits the parent's registry/trace contents (and
     # a pool worker keeps state across jobs) — start each job clean so
     # the returned state is exactly this benchmark's signals.
     obsregistry.reset_metrics()
     obsspans.clear_trace()
-    if inject is not None:
-        faults.fire(inject, name)
-    from .runner import study_benchmark  # late import: runner imports us
-
+    flightrec.clear()
+    obsprofile.set_profiling(profile)
+    obsprofile.reset_sampling()
+    # First breadcrumb after the reset: even a job that dies instantly
+    # ships a ring that says which benchmark it was running.
+    _log.debug("job start", bench=name, pid=os.getpid())
     started = time.perf_counter()
-    benchmark = get_benchmark(name)
-    result = study_benchmark(benchmark, thresholds, config=config,
-                             costs=costs, steps_scale=steps_scale,
-                             include_perf=include_perf, verify=verify,
-                             kernel=kernel)
-    elapsed = time.perf_counter() - started
-    return WorkerOutput(name=name, result=result, seconds=elapsed,
+    try:
+        if inject is not None:
+            faults.fire(inject, name)
+        from .runner import study_benchmark  # late: runner imports us
+
+        benchmark = get_benchmark(name)
+        result = study_benchmark(benchmark, thresholds, config=config,
+                                 costs=costs, steps_scale=steps_scale,
+                                 include_perf=include_perf, verify=verify,
+                                 kernel=kernel)
+    except Exception as exc:
+        # Ship the failure in a picklable envelope with the flight ring;
+        # injected crashes (os._exit) and hangs never reach this point.
+        raise WorkerJobError(f"{exc.__class__.__name__}: {exc}",
+                             flight=flightrec.export(),
+                             traceback_text=traceback.format_exc())
+    finished = time.perf_counter()
+    return WorkerOutput(name=name, result=result,
+                        seconds=finished - started,
                         metrics=obsregistry.export_state(),
-                        spans=obsspans.trace_events())
+                        spans=obsspans.trace_events(),
+                        pid=os.getpid(), spawned_at=_WORKER_SPAWNED_AT,
+                        started_at=started, finished_at=finished)
 
 
 def _run_job_inprocess(job: Job) -> WorkerOutput:
     """Run :func:`_study_worker` inline under worker-grade state isolation.
 
-    The global registry and trace buffer are snapshotted, handed to the
-    attempt (which resets them), and restored afterwards whether the
-    attempt succeeded or not.  The attempt's signals travel only inside
-    the returned :class:`WorkerOutput` — exactly the worker protocol —
-    so a failed attempt leaves no trace in the parent's metrics and a
-    retried benchmark is never double-counted.
+    The global registry, trace buffer and flight ring are snapshotted,
+    handed to the attempt (which resets them), and restored afterwards
+    whether the attempt succeeded or not.  The attempt's signals travel
+    only inside the returned :class:`WorkerOutput` — exactly the worker
+    protocol — so a failed attempt leaves no trace in the parent's
+    metrics and a retried benchmark is never double-counted.
     """
     parent_metrics = obsregistry.export_state()
     parent_trace = obsspans.trace_events()
+    parent_flight = flightrec.export()
+    parent_profiling = obsprofile.profiling_enabled()
     try:
         return _study_worker(job)
     finally:
@@ -198,6 +282,8 @@ def _run_job_inprocess(job: Job) -> WorkerOutput:
         obsregistry.merge_state(parent_metrics)
         obsspans.clear_trace()
         obsspans.extend_trace(parent_trace)
+        flightrec.restore(parent_flight)
+        obsprofile.set_profiling(parent_profiling)
 
 
 def dedupe_names(names: Sequence[str]) -> List[str]:
@@ -219,7 +305,8 @@ class _JobState:
     """Book-keeping for one benchmark across its attempts."""
 
     __slots__ = ("name", "attempts", "not_before", "submitted_at",
-                 "inject")
+                 "inject", "submitted_pc", "serialize_seconds",
+                 "payload_bytes")
 
     def __init__(self, name: str):
         self.name = name
@@ -227,6 +314,9 @@ class _JobState:
         self.not_before = 0.0      # monotonic time gating resubmission
         self.submitted_at = 0.0    # monotonic time of the live submission
         self.inject = None         # fault drawn for the live attempt
+        self.submitted_pc = 0.0    # perf_counter at the live submission
+        self.serialize_seconds = 0.0  # payload pickling time (live attempt)
+        self.payload_bytes = 0     # payload size (live attempt)
 
 
 class _PoolDispatcher:
@@ -249,8 +339,12 @@ class _PoolDispatcher:
     # -- pool lifecycle ----------------------------------------------------
 
     def _new_pool(self) -> ProcessPoolExecutor:
+        # job_tail ends with (..., kernel, profile); the initializer
+        # arms profiling in every worker before its first job.
+        profile = self.job_tail[-1]
         return ProcessPoolExecutor(max_workers=self.workers,
-                                   initializer=_pool_worker_init)
+                                   initializer=_pool_worker_init,
+                                   initargs=(profile,))
 
     def _kill_pool(self) -> None:
         """Terminate worker processes and discard the executor.
@@ -275,7 +369,18 @@ class _PoolDispatcher:
     def _submit(self, state: _JobState) -> None:
         state.inject = self.plan.draw(state.name)
         job = (state.name,) + self.job_tail + (state.inject,)
+        # Measure the payload's pickling cost and size here (the
+        # executor pickles again on its feeder thread, where it cannot
+        # be timed); the payload is small, so paying it twice is cheap.
+        t0 = time.perf_counter()
+        try:
+            payload = pickle.dumps(job)
+        except Exception:
+            payload = b""
+        state.serialize_seconds = time.perf_counter() - t0
+        state.payload_bytes = len(payload)
         state.submitted_at = time.monotonic()
+        state.submitted_pc = time.perf_counter()
         try:
             future = self.pool.submit(_study_worker, job)
         except BrokenProcessPool as exc:
@@ -343,6 +448,7 @@ class _PoolDispatcher:
             # The culprit is indistinguishable from its pool-mates (the
             # executor reports one shared BrokenProcessPool), so every
             # lost job is charged one attempt.
+            self._record_attempt(state, outcome="crash")
             self._charge_failure(state, "crash",
                                  f"worker died ({exc})")
 
@@ -351,6 +457,35 @@ class _PoolDispatcher:
     def _absorb(self, state: _JobState, output: WorkerOutput) -> None:
         self.result.outputs[state.name] = output
         self.on_output(output)
+
+    def _record_attempt(self, state: _JobState, outcome: str,
+                        output: Optional[WorkerOutput] = None,
+                        received: Optional[float] = None,
+                        mode: str = "pool") -> JobTimeline:
+        """Append this attempt's dispatch timeline to the result."""
+        record = JobTimeline(
+            bench=state.name, mode=mode, attempt=state.attempts + 1,
+            payload_bytes=state.payload_bytes,
+            serialize_seconds=state.serialize_seconds, outcome=outcome)
+        if output is not None and received is not None:
+            record.worker_pid = output.pid
+            queue = max(0.0, output.started_at - state.submitted_pc)
+            record.queue_seconds = queue
+            if output.spawned_at is not None:
+                # The slice of queue wait spent before the worker had
+                # even finished initialising: spin-up + import cost.
+                record.spawn_seconds = min(queue, max(
+                    0.0, output.spawned_at - state.submitted_pc))
+            record.execute_seconds = output.seconds
+            record.transfer_seconds = max(0.0,
+                                          received - output.finished_at)
+        elif state.submitted_pc:
+            # The worker never reported back (error/crash/timeout): all
+            # the parent knows is how long the attempt burned.
+            record.execute_seconds = max(
+                0.0, time.perf_counter() - state.submitted_pc)
+        self.result.records.append(record)
+        return record
 
     def _process_future(self, future: Future, state: _JobState) -> bool:
         """Fold one finished future in; True if the pool broke."""
@@ -363,10 +498,15 @@ class _PoolDispatcher:
             return True
         except Exception as exc:  # raised inside the worker
             self.inflight.pop(future, None)
-            self._charge_failure(state, "error",
-                                 f"{exc.__class__.__name__}: {exc}")
+            flight = _flight_of(exc)
+            if flight is not None:
+                self.result.flights[state.name] = flight
+            self._record_attempt(state, outcome="error")
+            self._charge_failure(state, "error", _error_text(exc))
             return False
         self.inflight.pop(future, None)
+        self._record_attempt(state, outcome="ok", output=output,
+                             received=time.perf_counter())
         self._absorb(state, output)
         return False
 
@@ -390,6 +530,7 @@ class _PoolDispatcher:
         self.inflight.clear()
         self._kill_pool()
         for _, state in expired:
+            self._record_attempt(state, outcome="timeout")
             self._quarantine(
                 state, "timeout", state.attempts + 1,
                 f"exceeded job timeout {self.policy.job_timeout}s")
@@ -436,9 +577,10 @@ class _PoolDispatcher:
                     time.sleep(max(0.0, min(s.not_before
                                             for s in self.queue) - now))
                     continue
-                done, _ = futures_wait(set(self.inflight),
-                                       timeout=self._wait_timeout(now),
-                                       return_when=FIRST_COMPLETED)
+                with span("dispatch.wait", inflight=len(self.inflight)):
+                    done, _ = futures_wait(set(self.inflight),
+                                           timeout=self._wait_timeout(now),
+                                           return_when=FIRST_COMPLETED)
                 broke = False
                 for future in done:
                     state = self.inflight.get(future)
@@ -460,6 +602,9 @@ class _PoolDispatcher:
         for state, reason, error in self.fallback:
             _log.warning("final in-process attempt", bench=state.name,
                          prior_failures=state.attempts)
+            state.submitted_pc = time.perf_counter()
+            state.serialize_seconds = 0.0  # inline: nothing is pickled
+            state.payload_bytes = 0
             try:
                 with span("fallback_inline", bench=state.name):
                     job = (state.name,) + self.job_tail + \
@@ -467,12 +612,20 @@ class _PoolDispatcher:
                     output = _run_job_inprocess(job)
             except Exception as exc:
                 inc("faults.fallback.error")
+                flight = _flight_of(exc)
+                if flight is not None:
+                    self.result.flights[state.name] = flight
+                self._record_attempt(state, outcome="error",
+                                     mode="fallback")
                 self._quarantine(state, reason, state.attempts + 1,
                                  f"{error}; inline fallback also failed: "
-                                 f"{exc.__class__.__name__}: {exc}")
+                                 f"{_error_text(exc)}")
             else:
                 inc("faults.fallback.success")
                 _log.info("inline fallback succeeded", bench=state.name)
+                self._record_attempt(state, outcome="ok", output=output,
+                                     received=time.perf_counter(),
+                                     mode="fallback")
                 self._absorb(state, output)
 
 
@@ -486,12 +639,20 @@ def _dispatch_inline(names: Sequence[str], job_tail: Tuple,
         attempts = 0
         while True:
             job = (name,) + job_tail + (plan.draw(name),)
+            started_pc = time.perf_counter()
             try:
                 output = _run_job_inprocess(job)
             except Exception as exc:  # never BaseException: ^C still aborts
                 attempts += 1
                 inc("retry.error")
-                error = f"{exc.__class__.__name__}: {exc}"
+                error = _error_text(exc)
+                flight = _flight_of(exc)
+                if flight is not None:
+                    result.flights[name] = flight
+                result.records.append(JobTimeline(
+                    bench=name, mode="inline", attempt=attempts,
+                    outcome="error",
+                    execute_seconds=time.perf_counter() - started_pc))
                 if attempts <= policy.retries:
                     _log.warning("benchmark attempt failed, will retry",
                                  bench=name, attempts=attempts, error=error)
@@ -505,6 +666,12 @@ def _dispatch_inline(names: Sequence[str], job_tail: Tuple,
                     name=name, reason="error", attempts=attempts,
                     error=error)
                 break
+            result.records.append(JobTimeline(
+                bench=name, mode="inline", attempt=attempts + 1,
+                outcome="ok", worker_pid=output.pid,
+                execute_seconds=output.seconds,
+                transfer_seconds=max(
+                    0.0, time.perf_counter() - output.finished_at)))
             result.outputs[name] = output
             on_output(output)
             break
@@ -524,6 +691,7 @@ def dispatch_study_jobs(
         on_output: Optional[Callable[[WorkerOutput], None]] = None,
         verify: bool = False,
         kernel: Optional[str] = None,
+        profile: bool = False,
 ) -> DispatchResult:
     """Fan ``study_benchmark`` jobs out with retries and quarantine.
 
@@ -543,6 +711,8 @@ def dispatch_study_jobs(
             per :func:`repro.stochastic.kernel.resolve_kernel` — the
             worker must not re-read the environment, or a parent-side
             explicit choice would not survive the process hop).
+        profile: arm the fine-grained profiling span sites inside every
+            job (shipped explicitly for the same reason as ``kernel``).
 
     Returns a :class:`DispatchResult`; the caller merges observability
     deterministically and decides what quarantined benchmarks mean.
@@ -553,7 +723,7 @@ def dispatch_study_jobs(
     on_output = on_output or (lambda output: None)
     kernel = resolve_kernel(kernel)
     job_tail = (tuple(thresholds), config, costs, steps_scale, include_perf,
-                verify, kernel)
+                verify, kernel, profile)
     workers = min(jobs, len(names))
     if workers <= 1:
         if policy.job_timeout is not None:

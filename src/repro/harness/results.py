@@ -24,6 +24,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..ioutil import atomic_write_text
+from ..obs.spans import span
 from . import faults
 
 _FORMAT_VERSION = 6
@@ -163,14 +164,15 @@ def save_shard(path: str, result: BenchmarkResult, fingerprint: str,
     report what the original computation cost.  The write is atomic: an
     interrupted run never leaves a truncated shard behind.
     """
-    payload = {
-        "version": _FORMAT_VERSION,
-        "benchmark": result.name,
-        "fingerprint": fingerprint,
-        "seconds": seconds,
-        "result": _result_to_dict(result),
-    }
-    _write_json(path, payload)
+    with span("cache.save_shard", bench=result.name):
+        payload = {
+            "version": _FORMAT_VERSION,
+            "benchmark": result.name,
+            "fingerprint": fingerprint,
+            "seconds": seconds,
+            "result": _result_to_dict(result),
+        }
+        _write_json(path, payload)
 
 
 def load_shard(path: str, expect_name: Optional[str] = None,
@@ -188,6 +190,12 @@ def load_shard(path: str, expect_name: Optional[str] = None,
     :class:`FileNotFoundError`/:class:`json.JSONDecodeError` on missing or
     corrupt files.
     """
+    with span("cache.load_shard"):
+        return _load_shard(path, expect_name, expect_fingerprint)
+
+
+def _load_shard(path, expect_name, expect_fingerprint
+                ) -> Tuple[BenchmarkResult, float]:
     with open(path) as f:
         payload = json.load(f)
     if payload.get("version") != _FORMAT_VERSION:
@@ -218,12 +226,13 @@ def save_aggregate(path: str, manifest: Optional[Dict],
 
     The write is atomic, like every cache write in this module.
     """
-    payload = {
-        "version": _FORMAT_VERSION,
-        "manifest": manifest,
-        "shards": shard_files,
-    }
-    _write_json(path, payload)
+    with span("cache.save_aggregate", shards=len(shard_files)):
+        payload = {
+            "version": _FORMAT_VERSION,
+            "manifest": manifest,
+            "shards": shard_files,
+        }
+        _write_json(path, payload)
 
 
 def load_aggregate(path: str) -> Tuple[Optional[Dict], Dict[str, str]]:
@@ -233,8 +242,9 @@ def load_aggregate(path: str) -> Tuple[Optional[Dict], Dict[str, str]]:
     :class:`ValueError` on a format-version mismatch — v5 monolithic
     ``study-*.json`` files land here and get recomputed.
     """
-    with open(path) as f:
-        payload = json.load(f)
+    with span("cache.load_aggregate"):
+        with open(path) as f:
+            payload = json.load(f)
     if payload.get("version") != _FORMAT_VERSION:
         raise ValueError(
             f"stale results file (format v{payload.get('version')}, "

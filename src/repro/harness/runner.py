@@ -32,10 +32,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.study import run_threshold_sweep
 from ..dbt.config import DBTConfig
 from ..dbt.replay import ReplayDBT
+from ..obs import dispatch as obsdispatch
+from ..obs import flightrec
 from ..obs import log as obslog
 from ..obs.manifest import build_manifest
-from ..obs.registry import inc, merge_state, observe
-from ..obs.spans import extend_trace, span
+from ..obs.profile import PhaseProfile, resolve_profile, set_profiling
+from ..obs.registry import inc, merge_state, observe, set_gauge
+from ..obs.spans import extend_trace, now_ts, span, trace_events
 from ..perfmodel.costs import DEFAULT_COSTS, CostModel
 from ..perfmodel.execution import estimate_cost
 from ..stochastic.kernel import resolve_kernel
@@ -311,7 +314,9 @@ def run_full_study(names: Optional[Iterable[str]] = None,
                    retries: Optional[int] = None,
                    job_timeout: Optional[float] = None,
                    verify: Optional[bool] = None,
-                   kernel: Optional[str] = None) -> StudyResults:
+                   kernel: Optional[str] = None,
+                   profile: Optional[bool] = None,
+                   flight_dir: Optional[str] = None) -> StudyResults:
     """Run (or load from cache) the full evaluation study.
 
     With the default arguments this reproduces every figure's raw data
@@ -347,6 +352,14 @@ def run_full_study(names: Optional[Iterable[str]] = None,
         verbose: emit per-benchmark progress through the structured
             logger (auto-configured at info level if
             :func:`repro.obs.configure` has not been called yet).
+        profile: arm the fine-grained profiling span sites in the
+            parent and every worker (default: ``$REPRO_PROFILE``, else
+            off).  Profiling only adds timing spans — study figures are
+            byte-identical either way — and the run manifest gains a
+            phase-attribution section regardless of this flag.
+        flight_dir: where to write flight-recorder dumps for failed
+            benchmarks (default: ``$REPRO_FLIGHT_DIR``, else
+            ``<cache_dir>/flight``, else nowhere).
     """
     config = config or DBTConfig()
     if names is None:
@@ -355,6 +368,8 @@ def run_full_study(names: Optional[Iterable[str]] = None,
     jobs = resolve_jobs(jobs)
     verify = resolve_verify(verify)
     kernel = resolve_kernel(kernel)
+    profile = resolve_profile(profile)
+    set_profiling(profile)
     policy = RetryPolicy(retries=resolve_retries(retries),
                          job_timeout=resolve_job_timeout(job_timeout))
 
@@ -379,20 +394,60 @@ def run_full_study(names: Optional[Iterable[str]] = None,
         return _compute_study(
             names, thresholds, config, costs, steps_scale, include_perf,
             verify, kernel, cache_dir, cache_path, key, confkey, jobs,
-            policy, plan)
+            policy, plan, profile, flight_dir)
     finally:
         set_active_plan(None)
 
 
+def _attach_merge_seconds(records, name: str, seconds: float) -> None:
+    """Credit a merge's cost to the benchmark's successful attempt."""
+    for record in records:
+        if record.bench == name and record.outcome == "ok":
+            record.merge_seconds += seconds
+            return
+
+
+def _observe_dispatch(records) -> None:
+    """Feed the per-attempt dispatch segments into the histograms."""
+    for record in records:
+        observe("dispatch.payload_bytes", record.payload_bytes)
+        for segment in obsdispatch.SEGMENTS:
+            observe(f"dispatch.{segment}_seconds", record.segment(segment))
+
+
+def _write_flight_dumps(failures, flights, flight_dir, cache_dir) -> None:
+    """One diagnosis artifact per quarantined benchmark, if anywhere."""
+    resolved = flightrec.resolve_flight_dir(flight_dir, cache_dir)
+    if resolved is None:
+        return
+    for name, failure in sorted(failures.items()):
+        try:
+            path = flightrec.write_dump(
+                resolved, name, failure.reason,
+                context={"reason": failure.reason,
+                         "attempts": failure.attempts,
+                         "error": failure.error},
+                worker_events=flights.get(name))
+        except OSError as exc:
+            _log.warning("flight dump not written", bench=name,
+                         error=f"{exc.__class__.__name__}: {exc}")
+        else:
+            failure.flight_record = path
+            _log.info("flight dump written", bench=name, path=path)
+
+
 def _compute_study(names, thresholds, config, costs, steps_scale,
                    include_perf, verify, kernel, cache_dir, cache_path,
-                   key, confkey, jobs, policy, plan) -> StudyResults:
+                   key, confkey, jobs, policy, plan, profile=False,
+                   flight_dir=None) -> StudyResults:
     """The cache-miss path of :func:`run_full_study`."""
     collected: Dict[str, BenchmarkResult] = {}
     timings: Dict[str, float] = {}
     cached_names: List[str] = []
     failures: Dict = {}
+    dispatch = None
     study_started = time.perf_counter()
+    trace_mark = now_ts()
     with span("full_study", benchmarks=len(names), fingerprint=key,
               jobs=jobs):
         pending: List[str] = []
@@ -422,18 +477,53 @@ def _compute_study(names, thresholds, config, costs, steps_scale,
                 save_shard(shard_path, output.result, confkey,
                            round(output.seconds, 3))
 
+        dispatch_wall = 0.0
         if pending:
+            dispatch_started = time.perf_counter()
             dispatch = dispatch_study_jobs(
                 pending, thresholds, config, costs, steps_scale,
                 include_perf, jobs=jobs, policy=policy, plan=plan,
-                on_output=_absorb, verify=verify, kernel=kernel)
+                on_output=_absorb, verify=verify, kernel=kernel,
+                profile=profile)
+            dispatch_wall = time.perf_counter() - dispatch_started
             failures = dispatch.failures
+            own_pid = os.getpid()
             for name in pending:  # deterministic merge order
                 output = dispatch.outputs.get(name)
-                if output is not None:
+                if output is None:
+                    continue
+                merge_started = time.perf_counter()
+                with span("dispatch.merge", bench=name):
                     merge_state(output.metrics)
-                    extend_trace(output.spans)
+                    if output.pid and output.pid != own_pid:
+                        # Pool workers get their own named trace lane.
+                        extend_trace(output.spans,
+                                     label=f"worker-{output.pid}")
+                    else:
+                        # Inline outputs re-nest under full_study in the
+                        # parent's own lane (same pid/tid, inner window).
+                        extend_trace(output.spans)
+                _attach_merge_seconds(
+                    dispatch.records, name,
+                    time.perf_counter() - merge_started)
     total = time.perf_counter() - study_started
+
+    set_gauge("study.jobs", jobs)
+    dispatch_summary = None
+    if dispatch is not None and dispatch.records:
+        _observe_dispatch(dispatch.records)
+        dispatch_summary = obsdispatch.summarize(
+            dispatch.records, jobs=jobs, wall_seconds=dispatch_wall)
+    if dispatch is not None and failures:
+        _write_flight_dumps(failures, dispatch.flights, flight_dir,
+                            cache_dir)
+
+    # Attribute this run's wall time: only span events recorded since
+    # the run started (the same process may have run studies before).
+    profile_data = PhaseProfile.from_events(
+        [e for e in trace_events() if e.get("ts", 0.0) >= trace_mark]
+    ).to_dict()
+    set_gauge("profile.coverage", profile_data["coverage"])
 
     results = StudyResults()
     for name in names:
@@ -449,6 +539,9 @@ def _compute_study(names, thresholds, config, costs, steps_scale,
                "job_timeout": policy.job_timeout,
                "verify": verify,
                "kernel": kernel,
+               "profile_enabled": profile,
+               "profile": profile_data,
+               "dispatch": dispatch_summary,
                "verify_findings": {
                    name: len(result.verify_findings)
                    for name, result in sorted(collected.items())

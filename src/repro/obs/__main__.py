@@ -1,0 +1,163 @@
+"""``python -m repro.obs`` — the observability report CLI.
+
+Subcommands::
+
+    python -m repro.obs report            # newest cached run's report
+    python -m repro.obs report --list     # every cached run, newest first
+    python -m repro.obs report --run x.json --json --prom metrics.prom
+    python -m repro.obs diff old.json new.json --threshold 10
+    python -m repro.obs prom --out metrics.prom
+    python -m repro.obs catalog --markdown
+
+``report`` renders a run's manifest with its phase-attribution and
+dispatch-breakdown tables; ``diff`` compares two runs (or a run against
+a ``BENCH_*.json`` baseline) and exits non-zero on regressions beyond
+the threshold; ``prom`` exports a metrics snapshot as a Prometheus
+textfile; ``catalog`` prints the documented instrument table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from . import catalog, report
+
+#: Exit code of ``diff`` when regressions beyond the threshold exist.
+EXIT_REGRESSION = 5
+
+
+def _default_cache_dir() -> str:
+    from ..harness.runner import DEFAULT_CACHE_DIR
+    return DEFAULT_CACHE_DIR
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Report on, diff and export study-run observability "
+                    "artifacts.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rep = sub.add_parser(
+        "report", help="render one run's manifest, phase profile and "
+                       "dispatch breakdown")
+    rep.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="cache directory holding study-*.json "
+                          "aggregates (default: the study cache)")
+    rep.add_argument("--run", default=None, metavar="PATH",
+                     help="a specific run artifact (default: the newest "
+                          "aggregate in the cache)")
+    rep.add_argument("--list", action="store_true",
+                     help="list every cached run instead of reporting")
+    rep.add_argument("--json", action="store_true",
+                     help="print the manifest as JSON instead of tables")
+    rep.add_argument("--prom", default=None, metavar="PATH",
+                     help="also write the run's metrics snapshot as a "
+                          "Prometheus textfile to PATH")
+
+    dif = sub.add_parser(
+        "diff", help="compare two runs (or a run vs a BENCH_*.json "
+                     "baseline); non-zero exit on regressions")
+    dif.add_argument("before", help="baseline artifact (run aggregate "
+                                    "or BENCH_*.json)")
+    dif.add_argument("after", help="candidate artifact")
+    dif.add_argument("--threshold", type=float, default=10.0,
+                     metavar="PCT",
+                     help="regression threshold in percent (default: 10)")
+    dif.add_argument("--all", action="store_true",
+                     help="show every comparable metric, not only "
+                          "regressions")
+
+    prom = sub.add_parser(
+        "prom", help="export a metrics snapshot in Prometheus textfile "
+                     "format")
+    prom.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="cache directory (default: the study cache)")
+    prom.add_argument("--run", default=None, metavar="PATH",
+                      help="run artifact to export (default: newest)")
+    prom.add_argument("--out", default=None, metavar="PATH",
+                      help="write to PATH instead of stdout")
+
+    cat = sub.add_parser(
+        "catalog", help="print the documented instrument catalog")
+    cat.add_argument("--markdown", action="store_true",
+                     help="emit the markdown table embedded in the docs")
+    return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    cache_dir = args.cache_dir or _default_cache_dir()
+    if args.list:
+        print(report.render_run_list(cache_dir))
+        return 0
+    path = report.resolve_run(args.run, cache_dir)
+    manifest, _ = report.report_sections(path)
+    if args.json:
+        print(json.dumps(manifest, indent=2, default=str))
+    else:
+        print(report.render_report(path))
+    if args.prom:
+        metrics = (manifest or {}).get("metrics") or {}
+        with open(args.prom, "w") as handle:
+            handle.write(report.prometheus_text(metrics))
+        print(f"wrote {args.prom}", file=sys.stderr)
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    before = report.comparable_metrics(report.load_payload(args.before))
+    after = report.comparable_metrics(report.load_payload(args.after))
+    rows = report.diff_metrics(before, after,
+                               threshold=args.threshold / 100.0)
+    print(f"diff: {os.path.basename(args.before)} -> "
+          f"{os.path.basename(args.after)} "
+          f"(threshold {args.threshold:g}%)")
+    print(report.render_diff(rows, show_all=args.all))
+    return EXIT_REGRESSION if any(r["regression"] for r in rows) else 0
+
+
+def _cmd_prom(args: argparse.Namespace) -> int:
+    cache_dir = args.cache_dir or _default_cache_dir()
+    path = report.resolve_run(args.run, cache_dir)
+    manifest, _ = report.report_sections(path)
+    text = report.prometheus_text((manifest or {}).get("metrics") or {})
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    if args.markdown:
+        print(catalog.markdown_table())
+        return 0
+    for entry in catalog.CATALOG:
+        print(f"{entry.kind:9s} {entry.name:32s} {entry.doc}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Dispatch one subcommand; the module's ``python -m`` entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        handler = {"report": _cmd_report, "diff": _cmd_diff,
+                   "prom": _cmd_prom, "catalog": _cmd_catalog}[args.command]
+        return handler(args)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. piped into head; not an error
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -86,6 +86,12 @@ class StructuredLogger:
 
     def _emit(self, level: str, event: str,
               fields: Dict[str, Any]) -> None:
+        # The flight recorder sees every event, even below the emit
+        # threshold: debug-level breadcrumbs are exactly what a crash
+        # dump needs, and the ring is bounded either way.
+        from . import flightrec
+        flightrec.record("log", event, level=level, logger=self.name,
+                         **fields)
         if _LEVELS[level] < _CONFIG.level:
             return
         stream = _CONFIG.stream or sys.stderr

@@ -105,4 +105,10 @@ def render_manifest(manifest: Optional[Dict[str, Any]]) -> str:
                 continue
             lines.append(f"    {name:32s} {summary['count']:6d} / "
                          f"{summary['mean']:.4g} / {summary['p99']:.4g}")
+    if manifest.get("profile"):
+        from .profile import PhaseProfile
+        lines.append(PhaseProfile.render(manifest["profile"]))
+    if manifest.get("dispatch"):
+        from . import dispatch as _dispatch
+        lines.append(_dispatch.render(manifest["dispatch"]))
     return "\n".join(lines)

@@ -69,6 +69,10 @@ class Histogram:
         """Number of observations so far."""
         return len(self._values)
 
+    def values(self) -> List[float]:
+        """The raw observations, insertion order (a copy)."""
+        return list(self._values)
+
     def percentile(self, p: float) -> float:
         """Linear-interpolated percentile ``p`` in [0, 100]."""
         if not self._values:

@@ -1,0 +1,293 @@
+"""Run reporting: aggregate manifests, diff runs, export Prometheus text.
+
+The study cache accumulates one ``study-<fingerprint>.json`` aggregate
+per run configuration, each carrying the run manifest (timings, metric
+snapshot, phase profile, dispatch breakdown).  This module is the
+read-side: ``python -m repro.obs report`` finds those aggregates,
+renders the hotspot and dispatch tables for one of them, ``diff``
+compares two runs (or a run against a ``BENCH_*.json`` baseline) with
+regression thresholds, and ``prom`` exports a metrics snapshot in
+Prometheus textfile exposition format for scrape-based dashboards.
+
+Everything here reads plain JSON files — no harness import, so the
+report CLI works on artifacts copied off a CI runner with nothing else
+installed.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from .manifest import render_manifest
+
+# -- run discovery ------------------------------------------------------------
+
+
+def discover_runs(cache_dir: str) -> List[str]:
+    """Every run aggregate under ``cache_dir``, newest first."""
+    paths = glob.glob(os.path.join(cache_dir, "study-*.json"))
+    return sorted(paths, key=lambda p: -os.path.getmtime(p))
+
+
+def load_payload(path: str) -> Dict[str, Any]:
+    """One JSON artifact (aggregate, bare manifest, or BENCH baseline)."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def manifest_of(payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """Schema-sniff the manifest out of a loaded artifact.
+
+    Accepts a cache aggregate or monolithic results file (manifest under
+    the ``"manifest"`` key), a bare manifest (has ``manifest_version``),
+    or a flight-recorder dump (no manifest — returns ``None``, as for
+    ``BENCH_*.json`` baselines, which carry flat numbers instead).
+    """
+    if "manifest" in payload:
+        return payload["manifest"]
+    if "manifest_version" in payload:
+        return payload
+    return None
+
+
+def describe_run(path: str) -> Dict[str, Any]:
+    """One line's worth of facts about a run aggregate."""
+    manifest = manifest_of(load_payload(path)) or {}
+    profile = manifest.get("profile") or {}
+    return {
+        "path": path,
+        "fingerprint": manifest.get("fingerprint", "?"),
+        "created_at": manifest.get("created_at", "?"),
+        "benchmarks": len(manifest.get("benchmarks") or []),
+        "total_seconds": manifest.get("total_seconds"),
+        "coverage": profile.get("coverage"),
+    }
+
+
+def render_run_list(cache_dir: str) -> str:
+    """The ``report --list`` table: every cached run, newest first."""
+    runs = discover_runs(cache_dir)
+    if not runs:
+        return f"no run aggregates under {cache_dir}"
+    lines = [f"{'fingerprint':18s} {'created (UTC)':20s} {'bench':>5s} "
+             f"{'seconds':>8s} {'cover':>6s}  file"]
+    for path in runs:
+        info = describe_run(path)
+        seconds = info["total_seconds"]
+        coverage = info["coverage"]
+        lines.append(
+            f"{info['fingerprint']:18s} {info['created_at']:20s} "
+            f"{info['benchmarks']:5d} "
+            f"{seconds if seconds is not None else float('nan'):8.2f} "
+            f"{coverage * 100 if coverage is not None else float('nan'):5.1f}%"
+            f"  {os.path.basename(path)}")
+    return "\n".join(lines)
+
+
+# -- metric flattening & diffing ----------------------------------------------
+
+#: Leaf-key suffixes where a *larger* value is a regression.
+_LOWER_IS_BETTER = ("seconds", "overhead_ratio", "payload_bytes",
+                    "mean", "p50", "p90", "p99", "max", "sum")
+
+#: Leaf-key suffixes where a *smaller* value is a regression.
+_HIGHER_IS_BETTER = ("speedup", "coverage", "effective_parallelism")
+
+
+def direction_of(key: str) -> int:
+    """-1 if lower is better, +1 if higher is better, 0 if informational."""
+    leaf = key.rsplit(".", 1)[-1]
+    for suffix in _HIGHER_IS_BETTER:
+        if leaf == suffix or leaf.endswith("_" + suffix):
+            return 1
+    for suffix in _LOWER_IS_BETTER:
+        if leaf == suffix or leaf.endswith("_" + suffix):
+            return -1
+    return 0
+
+
+def flatten_numbers(payload: Any, prefix: str = "",
+                    out: Optional[Dict[str, float]] = None
+                    ) -> Dict[str, float]:
+    """Every numeric leaf of a nested dict as ``dotted.path -> value``.
+
+    Booleans and lists are skipped — they are configuration, not
+    performance.  This is the common denominator that lets a run
+    manifest diff against a ``BENCH_*.json`` baseline: both reduce to a
+    flat bag of named numbers, and the diff walks the intersection.
+    """
+    if out is None:
+        out = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            flatten_numbers(value, f"{prefix}{key}.", out)
+    elif isinstance(payload, bool):
+        pass
+    elif isinstance(payload, (int, float)):
+        out[prefix[:-1]] = float(payload)
+    return out
+
+
+def comparable_metrics(payload: Dict[str, Any]) -> Dict[str, float]:
+    """The diffable numbers of one artifact.
+
+    Run aggregates contribute their manifest's timings, phase profile
+    and dispatch breakdown (the full metric snapshot would drown the
+    diff in counters that legitimately scale with work done);
+    ``BENCH_*.json`` baselines contribute every numeric leaf they have.
+    """
+    manifest = manifest_of(payload)
+    if manifest is None:
+        return flatten_numbers(payload)
+    picked: Dict[str, Any] = {
+        "total_seconds": manifest.get("total_seconds"),
+        "timings": manifest.get("timings") or {},
+    }
+    profile = manifest.get("profile") or {}
+    if profile:
+        picked["profile"] = {
+            "coverage": profile.get("coverage"),
+            "total_seconds": profile.get("total_seconds"),
+            "phases": {phase: row.get("seconds")
+                       for phase, row in
+                       (profile.get("phases") or {}).items()},
+        }
+    dispatch = manifest.get("dispatch") or {}
+    if dispatch:
+        picked["dispatch"] = {
+            "overhead_ratio": dispatch.get("overhead_ratio"),
+            "effective_parallelism": dispatch.get("effective_parallelism"),
+            "segments_seconds": dispatch.get("segments_seconds") or {},
+        }
+    return flatten_numbers(
+        {k: v for k, v in picked.items() if v is not None})
+
+
+def diff_metrics(a: Dict[str, float], b: Dict[str, float],
+                 threshold: float) -> List[Dict[str, Any]]:
+    """Compare two flat metric bags; flag directional worsenings.
+
+    A row is a *regression* when a lower-is-better key grows (or a
+    higher-is-better key shrinks) by more than ``threshold`` (a
+    fraction, e.g. 0.10 for 10%).  Keys present on only one side are
+    skipped — a diff across schema versions degrades to the common
+    subset instead of erroring.  Sub-10ms timing keys never regress:
+    at that scale the "change" is scheduler noise, not a signal.
+    """
+    rows: List[Dict[str, Any]] = []
+    for key in sorted(set(a) & set(b)):
+        before, after = a[key], b[key]
+        delta = after - before
+        ratio = (delta / abs(before)) if before else None
+        direction = direction_of(key)
+        regressed = False
+        if direction and ratio is not None:
+            worse = ratio > threshold if direction < 0 \
+                else ratio < -threshold
+            noise = direction < 0 and abs(before) < 0.01 \
+                and abs(after) < 0.01
+            regressed = worse and not noise
+        rows.append({"key": key, "before": before, "after": after,
+                     "delta": delta, "ratio": ratio,
+                     "regression": regressed})
+    return rows
+
+
+def render_diff(rows: List[Dict[str, Any]], show_all: bool = False) -> str:
+    """The diff table; regressions always shown, the rest behind a flag."""
+    shown = [r for r in rows if show_all or r["regression"]]
+    regressions = sum(1 for r in rows if r["regression"])
+    lines = [f"{len(rows)} comparable metrics, "
+             f"{regressions} regression(s)"]
+    if shown:
+        lines.append(f"  {'metric':44s} {'before':>12s} {'after':>12s} "
+                     f"{'change':>8s}")
+        for row in shown:
+            ratio = row["ratio"]
+            change = f"{ratio * 100:+7.1f}%" if ratio is not None else \
+                "     new"
+            flag = "  <-- regression" if row["regression"] else ""
+            lines.append(f"  {row['key']:44s} {row['before']:12.4f} "
+                         f"{row['after']:12.4f} {change}{flag}")
+    return "\n".join(lines)
+
+
+# -- Prometheus textfile export -----------------------------------------------
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prom_name(name: str) -> str:
+    """A metric name sanitised for the Prometheus exposition format."""
+    sanitised = _PROM_NAME_RE.sub("_", name)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return f"repro_{sanitised}"
+
+
+def prometheus_text(snapshot: Dict[str, Dict[str, Any]]) -> str:
+    """A metrics snapshot in Prometheus textfile exposition format.
+
+    Counters export as ``counter``, gauges as ``gauge``, histograms as
+    ``summary`` (count/sum plus the snapshot's fixed quantiles) — the
+    shape node_exporter's textfile collector ingests directly.
+    """
+    lines: List[str] = []
+    for name, value in sorted((snapshot.get("counters") or {}).items()):
+        metric = prom_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in sorted((snapshot.get("gauges") or {}).items()):
+        if value is None:
+            continue
+        metric = prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, summary in sorted((snapshot.get("histograms") or {}).items()):
+        if not summary.get("count"):
+            continue
+        metric = prom_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        for pct, quantile in (("p50", "0.5"), ("p90", "0.9"),
+                              ("p99", "0.99")):
+            if pct in summary:
+                lines.append(f'{metric}{{quantile="{quantile}"}} '
+                             f'{summary[pct]}')
+        lines.append(f"{metric}_count {summary['count']}")
+        lines.append(f"{metric}_sum {summary.get('sum', 0)}")
+    return "\n".join(lines) + "\n"
+
+
+# -- the report itself --------------------------------------------------------
+
+
+def resolve_run(run: Optional[str], cache_dir: str) -> str:
+    """The run artifact to report on: explicit path, else newest cached."""
+    if run:
+        if not os.path.exists(run):
+            raise FileNotFoundError(f"no such run artifact: {run}")
+        return run
+    runs = discover_runs(cache_dir)
+    if not runs:
+        raise FileNotFoundError(
+            f"no run aggregates under {cache_dir}; run a study first or "
+            f"pass --run")
+    return runs[0]
+
+
+def render_report(path: str) -> str:
+    """The full report for one run artifact (manifest + tables)."""
+    manifest = manifest_of(load_payload(path))
+    header = f"run report: {path}"
+    return header + "\n" + render_manifest(manifest)
+
+
+def report_sections(path: str) -> Tuple[Optional[Dict[str, Any]],
+                                        Dict[str, Any]]:
+    """``(manifest, payload)`` of one artifact, for programmatic use."""
+    payload = load_payload(path)
+    return manifest_of(payload), payload

@@ -32,6 +32,13 @@ _EVENTS: List[Dict[str, Any]] = []
 _EVENTS_LOCK = threading.Lock()
 _LOCAL = threading.local()
 
+#: Human labels for trace lanes: pid -> process name shown by Perfetto.
+_LANE_LABELS: Dict[int, str] = {}
+
+#: Synthetic pid allocator for foreign events that would otherwise
+#: collapse onto this process's lane (inline worker attempts).
+_SYNTHETIC_PID = 1_000_000
+
 
 def _stack() -> List["Span"]:
     stack = getattr(_LOCAL, "stack", None)
@@ -82,6 +89,11 @@ class Span:
             if len(_EVENTS) < MAX_TRACE_EVENTS:
                 _EVENTS.append(event)
         _registry.observe(f"span.{self.name}.seconds", self.duration)
+        from . import flightrec
+        flightrec.record("span", self.name,
+                         dur_ms=round(self.duration * 1e3, 3),
+                         **({"error": args["error"]}
+                            if "error" in args else {}))
         return False
 
 
@@ -124,27 +136,86 @@ def trace_events() -> List[Dict[str, Any]]:
 
 
 def clear_trace() -> None:
-    """Drop all buffered events."""
+    """Drop all buffered events and lane labels."""
     with _EVENTS_LOCK:
         _EVENTS.clear()
+        _LANE_LABELS.clear()
 
 
-def extend_trace(events: List[Dict[str, Any]]) -> None:
+def extend_trace(events: List[Dict[str, Any]],
+                 label: Optional[str] = None) -> None:
     """Append externally produced span events (worker → parent merge).
 
     Worker processes forked before their first span share this module's
     :data:`_EPOCH`, so their timestamps land on the parent's timeline and
-    the merged file still renders as one coherent Chrome trace (each
-    worker keeps its own ``pid`` lane).  The buffer cap applies.
+    the merged file still renders as one coherent Chrome trace.  Each
+    worker keeps its own ``pid`` lane.
+
+    ``label`` marks the events as a *named worker lane*: the label shows
+    as the process name in Perfetto, and events that carry this
+    process's own pid (a job attempt that ran inline rather than in a
+    pool worker) are remapped onto a synthetic pid so they render as
+    their own lane instead of collapsing onto the parent's row.  Without
+    a label the events are appended verbatim (the state-restore path
+    around inline retries depends on that).  The buffer cap applies.
+    """
+    global _SYNTHETIC_PID
+    own_pid = os.getpid()
+    remap: Optional[int] = None
+    with _EVENTS_LOCK:
+        lane_pids = set()
+        for event in events:
+            pid = event.get("pid", 0)
+            if label and pid == own_pid:
+                if remap is None:
+                    _SYNTHETIC_PID += 1
+                    remap = _SYNTHETIC_PID
+                event = dict(event, pid=remap)
+                pid = remap
+            lane_pids.add(pid)
+            if len(_EVENTS) < MAX_TRACE_EVENTS:
+                _EVENTS.append(event)
+        if label:
+            for pid in lane_pids:
+                _LANE_LABELS.setdefault(pid, label)
+
+
+def label_lane(pid: int, label: str) -> None:
+    """Name a trace lane (rendered as the process name in Perfetto)."""
+    with _EVENTS_LOCK:
+        _LANE_LABELS[pid] = label
+
+
+def now_ts() -> float:
+    """The current trace timestamp (µs since this module's epoch).
+
+    Lets callers mark a point in time and later select only the span
+    events recorded after it (the runner scopes its phase profile to the
+    current run this way, excluding earlier same-process activity).
+    """
+    return (time.perf_counter() - _EPOCH) * 1e6
+
+
+def _metadata_events() -> List[Dict[str, Any]]:
+    """Chrome metadata naming each labelled lane.
+
+    Metadata events go *after* the duration events — some consumers
+    (including this repo's own tests) treat the first event as a span.
     """
     with _EVENTS_LOCK:
-        room = MAX_TRACE_EVENTS - len(_EVENTS)
-        if room > 0:
-            _EVENTS.extend(events[:room])
+        labels = dict(_LANE_LABELS)
+    events: List[Dict[str, Any]] = []
+    for index, (pid, label) in enumerate(sorted(labels.items())):
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": label}})
+        events.append({"name": "process_sort_index", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"sort_index": index}})
+    return events
 
 
 def write_trace(path: str) -> None:
     """Write the buffered spans as Chrome trace JSON (atomically)."""
     from ..ioutil import atomic_write_text
-    payload = {"traceEvents": trace_events(), "displayTimeUnit": "ms"}
+    payload = {"traceEvents": trace_events() + _metadata_events(),
+               "displayTimeUnit": "ms"}
     atomic_write_text(path, json.dumps(payload) + "\n")

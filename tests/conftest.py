@@ -14,7 +14,9 @@ from repro.stochastic import ProgramBehavior, steady, walk
 #: a stray REPRO_JOBS=1 or REPRO_KERNEL=scalar would silently change
 #: what the tests exercise.
 _REPRO_ENV_VARS = ("REPRO_JOBS", "REPRO_KERNEL", "REPRO_FAULT_SPEC",
-                   "REPRO_VERIFY", "REPRO_RETRIES", "REPRO_JOB_TIMEOUT")
+                   "REPRO_VERIFY", "REPRO_RETRIES", "REPRO_JOB_TIMEOUT",
+                   "REPRO_PROFILE", "REPRO_PROFILE_SAMPLE",
+                   "REPRO_FLIGHT_DIR", "REPRO_FLIGHT_CAPACITY")
 
 #: CI sets this to run the tier-1 suite once per kernel; it is applied
 #: as REPRO_KERNEL *after* the scrub, so it is the one sanctioned way

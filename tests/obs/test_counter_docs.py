@@ -1,0 +1,60 @@
+"""Instrument catalog: every emitted metric documented, docs in sync."""
+
+import os
+import re
+
+import repro
+from repro.obs import catalog
+
+_SRC_ROOT = os.path.dirname(repro.__file__)
+_DOCS = os.path.join(os.path.dirname(_SRC_ROOT), "..", "docs",
+                     "observability.md")
+
+_BEGIN = "<!-- counter-table:begin -->"
+_END = "<!-- counter-table:end -->"
+
+
+def test_every_emitted_instrument_is_cataloged():
+    found = catalog.scan_sources(_SRC_ROOT)
+    assert found, "source scan found no instruments at all"
+    missing = catalog.uncataloged(found)
+    assert not missing, (
+        f"instruments emitted but not documented in "
+        f"repro.obs.catalog.CATALOG: {missing}; add an entry (and the "
+        f"docs regenerate from the catalog)")
+
+
+def test_scan_finds_known_sites():
+    found = catalog.scan_sources(_SRC_ROOT)
+    assert ("counter", "cache.hit") in found
+    assert ("histogram", "span.*.seconds") in found     # f-string site
+    assert ("gauge", "profile.coverage") in found
+
+
+def test_wildcards_cover_families():
+    assert catalog.find("retry.timeout", "counter") is not None
+    assert catalog.find("dispatch.queue_seconds", "histogram") is not None
+    assert catalog.find("no.such.metric", "counter") is None
+    # kind matters: a counter name is not covered by a histogram entry
+    assert catalog.find("span.x.seconds", "counter") is None
+
+
+def test_docs_table_matches_catalog():
+    with open(os.path.normpath(_DOCS), encoding="utf-8") as handle:
+        text = handle.read()
+    assert _BEGIN in text and _END in text, (
+        "docs/observability.md lost its counter-table markers")
+    embedded = text.split(_BEGIN, 1)[1].split(_END, 1)[0].strip()
+    expected = catalog.markdown_table().strip()
+    assert embedded == expected, (
+        "docs/observability.md counter table is stale; regenerate with "
+        "`python -m repro.obs catalog --markdown`")
+
+
+def test_markdown_table_shape():
+    table = catalog.markdown_table()
+    lines = table.splitlines()
+    assert lines[0] == "| Instrument | Kind | Meaning |"
+    assert len(lines) == len(catalog.CATALOG) + 2
+    assert all(re.match(r"^\| `.+` \| (counter|gauge|histogram) \| ", line)
+               for line in lines[2:])
