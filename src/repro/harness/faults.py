@@ -1,6 +1,6 @@
 """Deterministic fault injection and failure-policy knobs for the study.
 
-The resilient dispatcher (:mod:`repro.harness.parallel`) survives worker
+The resilient dispatcher (:mod:`repro.harness.pool`) survives worker
 crashes, hangs and torn cache writes; this module makes those failures
 *reproducible on demand* so the behaviour is testable end to end instead
 of only on unlucky hardware.
@@ -79,6 +79,12 @@ _IN_WORKER = False
 
 #: The plan armed by the currently running study (torn-write hook).
 _ACTIVE: Optional["FaultPlan"] = None
+
+#: The fault kind that last fired in this process (see :func:`fire`).
+#: Attempt runners clear it before the attempt and ship it back with
+#: failures, so the parent can tell "the drawn fault did its work" from
+#: "the attempt died of something else first" and refund the token.
+_FIRED: Optional[str] = None
 
 
 class InjectedFault(RuntimeError):
@@ -209,8 +215,23 @@ def in_worker_process() -> bool:
     return _IN_WORKER
 
 
+def clear_fired() -> None:
+    """Reset the fired-fault marker before running an attempt."""
+    global _FIRED
+    _FIRED = None
+
+
+def pop_fired() -> Optional[str]:
+    """Consume and return the fault kind that fired since the clear."""
+    global _FIRED
+    fired, _FIRED = _FIRED, None
+    return fired
+
+
 def fire(kind: str, name: str) -> None:
     """Fire one worker fault drawn by the parent for this attempt."""
+    global _FIRED
+    _FIRED = kind
     if kind == "crash":
         if _IN_WORKER:
             os._exit(99)

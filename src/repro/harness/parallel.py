@@ -1,734 +1,22 @@
-"""Fault-tolerant process-pool fan-out for the study runner.
+"""Compatibility re-export: the dispatcher moved to ``repro.harness.pool``.
 
-``run_full_study`` is embarrassingly parallel across benchmarks: each
-:func:`~repro.harness.runner.study_benchmark` call depends only on its
-benchmark name and the run configuration.  This module dispatches those
-jobs across a :class:`concurrent.futures.ProcessPoolExecutor` — and
-keeps the run alive when workers misbehave:
-
-* a worker **crash** (segfault, OOM kill, ``os._exit``) breaks the whole
-  pool; the dispatcher rebuilds it and resubmits only the jobs that were
-  in flight, charging each one attempt of its retry budget (the culprit
-  cannot be told apart from its pool-mates — all of them were running in
-  the dead executor);
-* a **hung** job (``job_timeout`` exceeded) is quarantined immediately
-  — retrying a deterministic hang just burns another timeout window —
-  and the pool is torn down and rebuilt to reclaim the stuck worker.
-  Innocent jobs caught in the teardown are resubmitted without touching
-  their budget;
-* a job that **raises** is retried with exponential backoff up to
-  ``retries`` times;
-* jobs that exhaust their budget fall back to one **in-process serial**
-  attempt (pool pathologies — fork state, pickling, memory pressure —
-  often vanish in-process) before being quarantined for good.
-
-Quarantined benchmarks land in :class:`DispatchResult.failures`; the
-study completes without them instead of aborting.  Shard writes happen
-in the parent as each job finishes, so nothing a worker does — or how it
-dies — can corrupt the cache.
-
-Each worker resets its (fork-inherited) metrics registry and span buffer
-before computing, then returns ``(BenchmarkResult, metrics state, span
-events, seconds)``; the parent folds the state into the global registry
-(:func:`repro.obs.merge_state`) and the span buffer
-(:func:`repro.obs.extend_trace`) — for *successful* attempts only, so a
-retried benchmark's counters are recorded exactly once.  Inline
-execution (``jobs=1`` and the fallback path) runs the same worker entry
-point under the same state isolation, which keeps ``--jobs N`` output
-bit-identical to ``--jobs 1`` even through retries.
+The fault-tolerant fan-out engine grew a pluggable backend layer
+(in-process, warm process pool, batched process pool) and was split
+into the :mod:`repro.harness.pool` package.  Everything this module
+used to export is re-exported here so existing imports keep working;
+new code should import from ``repro.harness.pool`` directly.
 """
 
 from __future__ import annotations
 
-import os
-import pickle
-import time
-import traceback
-from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
-from concurrent.futures import wait as futures_wait
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
-
-from ..dbt.config import DBTConfig
-from ..obs import flightrec
-from ..obs import log as obslog
-from ..obs import profile as obsprofile
-from ..obs import registry as obsregistry
-from ..obs import spans as obsspans
-from ..obs.dispatch import JobTimeline
-from ..obs.registry import inc
-from ..obs.spans import span
-from ..perfmodel.costs import CostModel
-from ..stochastic.kernel import resolve_kernel
-from ..workloads.spec import get_benchmark
-from . import faults
-from .results import BenchmarkResult
-
-#: Environment variable overriding the default worker count.
-JOBS_ENV = "REPRO_JOBS"
-
-_log = obslog.get_logger("repro.harness.parallel")
-
-
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """The effective worker count.
-
-    Explicit ``jobs`` wins; otherwise the :data:`JOBS_ENV` environment
-    variable; otherwise every CPU.  ``1`` selects the serial path.
-    """
-    if jobs is None:
-        env = os.environ.get(JOBS_ENV)
-        if env:
-            try:
-                jobs = int(env)
-            except ValueError:
-                raise ValueError(
-                    f"{JOBS_ENV} must be an integer, got {env!r}") from None
-        else:
-            jobs = os.cpu_count() or 1
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
-    return jobs
-
-
-@dataclass
-class WorkerOutput:
-    """One benchmark's study result plus the worker's observability.
-
-    The three timestamps come from ``time.perf_counter()`` —
-    CLOCK_MONOTONIC on Linux, shared between parent and (forked or
-    spawned) worker — so the parent can subtract them from its own
-    clock readings to split queue wait, spawn cost and result transfer
-    out of the job's wall time.
-    """
-
-    name: str
-    result: BenchmarkResult
-    seconds: float
-    metrics: Dict[str, Dict]
-    spans: List[Dict[str, Any]]
-    pid: int = 0
-    spawned_at: Optional[float] = None  # worker-init perf_counter
-    started_at: float = 0.0             # job start in the worker
-    finished_at: float = 0.0            # job end in the worker
-
-
-class WorkerJobError(RuntimeError):
-    """A study job failed inside a worker; carries its flight ring.
-
-    Arbitrary worker exceptions do not always survive pickling back to
-    the parent, and even when they do they arrive without the worker's
-    recent history.  The worker entry point wraps every failure in this
-    (explicitly picklable) envelope: the original error rendered as
-    text, the worker's flight-recorder ring, and the formatted
-    traceback — everything the parent needs to write a diagnosis dump.
-    """
-
-    def __init__(self, message: str,
-                 flight: Optional[List[Dict[str, Any]]] = None,
-                 traceback_text: str = ""):
-        super().__init__(message)
-        self.message = message
-        self.flight = flight or []
-        self.traceback_text = traceback_text
-
-    def __reduce__(self):
-        return (WorkerJobError,
-                (self.message, self.flight, self.traceback_text))
-
-
-def _error_text(exc: BaseException) -> str:
-    """A failure's display string, unwrapping the worker envelope."""
-    if isinstance(exc, WorkerJobError):
-        return exc.message
-    return f"{exc.__class__.__name__}: {exc}"
-
-
-def _flight_of(exc: BaseException) -> Optional[List[Dict[str, Any]]]:
-    """The worker flight ring shipped with a failure, if any."""
-    if isinstance(exc, WorkerJobError):
-        return exc.flight
-    return None
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """How the dispatcher treats failing jobs.
-
-    Attributes:
-        retries: extra attempts granted per benchmark after its first
-            failure (``0`` = fail straight to the fallback attempt).
-        job_timeout: seconds before an in-flight job is declared hung
-            and quarantined (``None`` = unlimited; only enforced with
-            ``jobs > 1`` — inline execution cannot be interrupted).
-        backoff: base delay before retry ``k`` of a job, growing as
-            ``backoff * 2**(k-1)`` up to ``backoff_cap``.
-    """
-
-    retries: int = faults.DEFAULT_RETRIES
-    job_timeout: Optional[float] = None
-    backoff: float = 0.05
-    backoff_cap: float = 2.0
-
-    def delay(self, attempts: int) -> float:
-        """Backoff before resubmitting a job that failed ``attempts`` times."""
-        if self.backoff <= 0 or attempts <= 0:
-            return 0.0
-        return min(self.backoff_cap, self.backoff * 2 ** (attempts - 1))
-
-
-@dataclass
-class JobFailure:
-    """Why a quarantined benchmark was given up on."""
-
-    name: str
-    reason: str  #: ``"timeout"`` | ``"crash"`` | ``"error"``
-    attempts: int
-    error: str
-    flight_record: Optional[str] = None  #: path of the diagnosis dump
-
-
-@dataclass
-class DispatchResult:
-    """Everything the dispatcher produced: successes and quarantines."""
-
-    outputs: Dict[str, WorkerOutput] = field(default_factory=dict)
-    failures: Dict[str, JobFailure] = field(default_factory=dict)
-    #: Per-attempt dispatch timelines, in completion order.
-    records: List[JobTimeline] = field(default_factory=list)
-    #: Worker flight rings shipped with failures, keyed by benchmark.
-    flights: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
-
-
-#: A study job as shipped to a worker (everything here pickles).  The
-#: last two elements are the profiling flag and the fault kind the
-#: parent drew for this attempt.
-Job = Tuple[str, Tuple[int, ...], DBTConfig, CostModel, float, bool,
-            bool, str, bool, Optional[str]]
-
-#: perf_counter() at pool-worker initialisation (None in the parent).
-_WORKER_SPAWNED_AT: Optional[float] = None
-
-
-def _pool_worker_init(profile: bool = False) -> None:
-    """Pool initializer: stamp spawn time, arm faults and profiling."""
-    global _WORKER_SPAWNED_AT
-    _WORKER_SPAWNED_AT = time.perf_counter()
-    faults.mark_worker_process()
-    obsprofile.set_profiling(profile)
-
-
-def _study_worker(job: Job) -> WorkerOutput:
-    """Run one benchmark's study in a worker process."""
-    (name, thresholds, config, costs, steps_scale, include_perf, verify,
-     kernel, profile, inject) = job
-    # A forked worker inherits the parent's registry/trace contents (and
-    # a pool worker keeps state across jobs) — start each job clean so
-    # the returned state is exactly this benchmark's signals.
-    obsregistry.reset_metrics()
-    obsspans.clear_trace()
-    flightrec.clear()
-    obsprofile.set_profiling(profile)
-    obsprofile.reset_sampling()
-    # First breadcrumb after the reset: even a job that dies instantly
-    # ships a ring that says which benchmark it was running.
-    _log.debug("job start", bench=name, pid=os.getpid())
-    started = time.perf_counter()
-    try:
-        if inject is not None:
-            faults.fire(inject, name)
-        from .runner import study_benchmark  # late: runner imports us
-
-        benchmark = get_benchmark(name)
-        result = study_benchmark(benchmark, thresholds, config=config,
-                                 costs=costs, steps_scale=steps_scale,
-                                 include_perf=include_perf, verify=verify,
-                                 kernel=kernel)
-    except Exception as exc:
-        # Ship the failure in a picklable envelope with the flight ring;
-        # injected crashes (os._exit) and hangs never reach this point.
-        raise WorkerJobError(f"{exc.__class__.__name__}: {exc}",
-                             flight=flightrec.export(),
-                             traceback_text=traceback.format_exc())
-    finished = time.perf_counter()
-    return WorkerOutput(name=name, result=result,
-                        seconds=finished - started,
-                        metrics=obsregistry.export_state(),
-                        spans=obsspans.trace_events(),
-                        pid=os.getpid(), spawned_at=_WORKER_SPAWNED_AT,
-                        started_at=started, finished_at=finished)
-
-
-def _run_job_inprocess(job: Job) -> WorkerOutput:
-    """Run :func:`_study_worker` inline under worker-grade state isolation.
-
-    The global registry, trace buffer and flight ring are snapshotted,
-    handed to the attempt (which resets them), and restored afterwards
-    whether the attempt succeeded or not.  The attempt's signals travel
-    only inside the returned :class:`WorkerOutput` — exactly the worker
-    protocol — so a failed attempt leaves no trace in the parent's
-    metrics and a retried benchmark is never double-counted.
-    """
-    parent_metrics = obsregistry.export_state()
-    parent_trace = obsspans.trace_events()
-    parent_flight = flightrec.export()
-    parent_profiling = obsprofile.profiling_enabled()
-    try:
-        return _study_worker(job)
-    finally:
-        obsregistry.reset_metrics()
-        obsregistry.merge_state(parent_metrics)
-        obsspans.clear_trace()
-        obsspans.extend_trace(parent_trace)
-        flightrec.restore(parent_flight)
-        obsprofile.set_profiling(parent_profiling)
-
-
-def dedupe_names(names: Sequence[str]) -> List[str]:
-    """Drop duplicate benchmark names, keeping first-seen order.
-
-    Outputs are keyed by name, so a duplicate would silently collapse
-    into one result while still burning a pool job — warn instead.
-    """
-    unique = list(dict.fromkeys(names))
-    dropped = len(names) - len(unique)
-    if dropped:
-        inc("study.duplicate_names", dropped)
-        _log.warning("duplicate benchmark names dropped",
-                     requested=len(names), unique=len(unique))
-    return unique
-
-
-class _JobState:
-    """Book-keeping for one benchmark across its attempts."""
-
-    __slots__ = ("name", "attempts", "not_before", "submitted_at",
-                 "inject", "submitted_pc", "serialize_seconds",
-                 "payload_bytes")
-
-    def __init__(self, name: str):
-        self.name = name
-        self.attempts = 0          # failed attempts so far
-        self.not_before = 0.0      # monotonic time gating resubmission
-        self.submitted_at = 0.0    # monotonic time of the live submission
-        self.inject = None         # fault drawn for the live attempt
-        self.submitted_pc = 0.0    # perf_counter at the live submission
-        self.serialize_seconds = 0.0  # payload pickling time (live attempt)
-        self.payload_bytes = 0     # payload size (live attempt)
-
-
-class _PoolDispatcher:
-    """The retry/rebuild/quarantine engine behind the pool path."""
-
-    def __init__(self, names: Sequence[str], job_tail: Tuple,
-                 workers: int, policy: RetryPolicy, plan: faults.FaultPlan,
-                 on_output: Callable[[WorkerOutput], None]):
-        self.job_tail = job_tail
-        self.workers = workers
-        self.policy = policy
-        self.plan = plan
-        self.on_output = on_output
-        self.queue: deque = deque(_JobState(n) for n in names)
-        self.inflight: Dict[Future, _JobState] = {}
-        self.result = DispatchResult()
-        self.fallback: List[Tuple[_JobState, str, str]] = []
-        self.pool = self._new_pool()
-
-    # -- pool lifecycle ----------------------------------------------------
-
-    def _new_pool(self) -> ProcessPoolExecutor:
-        # job_tail ends with (..., kernel, profile); the initializer
-        # arms profiling in every worker before its first job.
-        profile = self.job_tail[-1]
-        return ProcessPoolExecutor(max_workers=self.workers,
-                                   initializer=_pool_worker_init,
-                                   initargs=(profile,))
-
-    def _kill_pool(self) -> None:
-        """Terminate worker processes and discard the executor.
-
-        ``ProcessPoolExecutor`` offers no per-worker kill, so reclaiming
-        one hung worker means tearing the whole pool down (``_processes``
-        is private but stable since 3.7; guarded anyway).
-        """
-        processes = list(
-            (getattr(self.pool, "_processes", None) or {}).values())
-        for process in processes:
-            process.terminate()
-        self.pool.shutdown(wait=False, cancel_futures=True)
-
-    def _rebuild_pool(self) -> None:
-        inc("faults.pool_rebuild")
-        with span("pool_rebuild", workers=self.workers):
-            self.pool = self._new_pool()
-
-    # -- attempt accounting ------------------------------------------------
-
-    def _submit(self, state: _JobState) -> None:
-        state.inject = self.plan.draw(state.name)
-        job = (state.name,) + self.job_tail + (state.inject,)
-        # Measure the payload's pickling cost and size here (the
-        # executor pickles again on its feeder thread, where it cannot
-        # be timed); the payload is small, so paying it twice is cheap.
-        t0 = time.perf_counter()
-        try:
-            payload = pickle.dumps(job)
-        except Exception:
-            payload = b""
-        state.serialize_seconds = time.perf_counter() - t0
-        state.payload_bytes = len(payload)
-        state.submitted_at = time.monotonic()
-        state.submitted_pc = time.perf_counter()
-        try:
-            future = self.pool.submit(_study_worker, job)
-        except BrokenProcessPool as exc:
-            # The pool died between completions; everything in flight is
-            # lost, this job never ran and is requeued for free.
-            self._refund_inject(state)
-            self.queue.appendleft(state)
-            self._handle_pool_break(exc)
-            return
-        self.inflight[future] = state
-
-    def _refund_inject(self, state: _JobState) -> None:
-        """Hand an unfired fault token back to the plan (see refund)."""
-        if state.inject is not None:
-            self.plan.refund(state.name, state.inject)
-            state.inject = None
-
-    def _requeue(self, state: _JobState, charged: bool) -> None:
-        if charged:
-            state.not_before = time.monotonic() + \
-                self.policy.delay(state.attempts)
-        inc("retry.resubmitted")
-        self.queue.append(state)
-
-    def _charge_failure(self, state: _JobState, reason: str,
-                        error: str) -> None:
-        """One attempt failed: retry within budget, else fall back."""
-        state.attempts += 1
-        inc(f"retry.{reason}")
-        if state.attempts <= self.policy.retries:
-            _log.warning("benchmark attempt failed, will retry",
-                         bench=state.name, reason=reason,
-                         attempts=state.attempts, error=error)
-            self._requeue(state, charged=True)
-        else:
-            _log.warning("retry budget exhausted, deferring to inline "
-                         "fallback", bench=state.name, reason=reason,
-                         attempts=state.attempts, error=error)
-            self.fallback.append((state, reason, error))
-
-    def _quarantine(self, state: _JobState, reason: str, attempts: int,
-                    error: str) -> None:
-        inc("faults.quarantined")
-        _log.error("benchmark quarantined", bench=state.name,
-                   reason=reason, attempts=attempts, error=error)
-        self.result.failures[state.name] = JobFailure(
-            name=state.name, reason=reason, attempts=attempts, error=error)
-
-    def _handle_pool_break(self, exc: BaseException) -> None:
-        """The pool died: rebuild it, resubmit exactly the lost jobs."""
-        lost = list(self.inflight.values())
-        self.inflight.clear()
-        self.pool.shutdown(wait=False, cancel_futures=True)
-        _log.warning("process pool broke, rebuilding",
-                     lost=[s.name for s in lost],
-                     error=f"{exc.__class__.__name__}: {exc}")
-        self._rebuild_pool()
-        for state in lost:
-            # A drawn hang/error fault cannot break a pool — the attempt
-            # was collateral damage and its token goes back to the plan
-            # so the injection schedule survives the interleaving.  (A
-            # drawn crash is exactly what kills pools: consumed.)
-            if state.inject in ("hang", "error"):
-                self._refund_inject(state)
-            # The culprit is indistinguishable from its pool-mates (the
-            # executor reports one shared BrokenProcessPool), so every
-            # lost job is charged one attempt.
-            self._record_attempt(state, outcome="crash")
-            self._charge_failure(state, "crash",
-                                 f"worker died ({exc})")
-
-    # -- completion handling -----------------------------------------------
-
-    def _absorb(self, state: _JobState, output: WorkerOutput) -> None:
-        self.result.outputs[state.name] = output
-        self.on_output(output)
-
-    def _record_attempt(self, state: _JobState, outcome: str,
-                        output: Optional[WorkerOutput] = None,
-                        received: Optional[float] = None,
-                        mode: str = "pool") -> JobTimeline:
-        """Append this attempt's dispatch timeline to the result."""
-        record = JobTimeline(
-            bench=state.name, mode=mode, attempt=state.attempts + 1,
-            payload_bytes=state.payload_bytes,
-            serialize_seconds=state.serialize_seconds, outcome=outcome)
-        if output is not None and received is not None:
-            record.worker_pid = output.pid
-            queue = max(0.0, output.started_at - state.submitted_pc)
-            record.queue_seconds = queue
-            if output.spawned_at is not None:
-                # The slice of queue wait spent before the worker had
-                # even finished initialising: spin-up + import cost.
-                record.spawn_seconds = min(queue, max(
-                    0.0, output.spawned_at - state.submitted_pc))
-            record.execute_seconds = output.seconds
-            record.transfer_seconds = max(0.0,
-                                          received - output.finished_at)
-        elif state.submitted_pc:
-            # The worker never reported back (error/crash/timeout): all
-            # the parent knows is how long the attempt burned.
-            record.execute_seconds = max(
-                0.0, time.perf_counter() - state.submitted_pc)
-        self.result.records.append(record)
-        return record
-
-    def _process_future(self, future: Future, state: _JobState) -> bool:
-        """Fold one finished future in; True if the pool broke."""
-        try:
-            output = future.result()
-        except BrokenProcessPool as exc:
-            # ``state`` is still in ``self.inflight`` — the break handler
-            # charges it together with the rest of the lost jobs.
-            self._handle_pool_break(exc)
-            return True
-        except Exception as exc:  # raised inside the worker
-            self.inflight.pop(future, None)
-            flight = _flight_of(exc)
-            if flight is not None:
-                self.result.flights[state.name] = flight
-            self._record_attempt(state, outcome="error")
-            self._charge_failure(state, "error", _error_text(exc))
-            return False
-        self.inflight.pop(future, None)
-        self._record_attempt(state, outcome="ok", output=output,
-                             received=time.perf_counter())
-        self._absorb(state, output)
-        return False
-
-    def _cull_timeouts(self) -> None:
-        """Quarantine jobs past their deadline; rescue their pool-mates."""
-        now = time.monotonic()
-        expired: List[Tuple[Future, _JobState]] = []
-        for future, state in list(self.inflight.items()):
-            if future.done():
-                # Finished between the wait and the deadline check —
-                # harvest it normally rather than blaming it.
-                if self._process_future(future, state):
-                    return
-            elif now - state.submitted_at >= self.policy.job_timeout:
-                expired.append((future, state))
-        if not expired:
-            return
-        inc("faults.timeout", len(expired))
-        survivors = [s for f, s in self.inflight.items()
-                     if not any(f is ef for ef, _ in expired)]
-        self.inflight.clear()
-        self._kill_pool()
-        for _, state in expired:
-            self._record_attempt(state, outcome="timeout")
-            self._quarantine(
-                state, "timeout", state.attempts + 1,
-                f"exceeded job timeout {self.policy.job_timeout}s")
-        self._rebuild_pool()
-        for state in survivors:
-            # Collateral damage of the teardown, not a failure of their
-            # own — resubmit without touching the retry budget, and give
-            # any unfired fault token back to the plan.
-            self._refund_inject(state)
-            self._requeue(state, charged=False)
-
-    # -- the dispatch loop -------------------------------------------------
-
-    def _wait_timeout(self, now: float) -> Optional[float]:
-        deadlines: List[float] = []
-        if self.policy.job_timeout is not None:
-            deadlines.extend(s.submitted_at + self.policy.job_timeout
-                             for s in self.inflight.values())
-        if self.queue and len(self.inflight) < self.workers:
-            deadlines.extend(s.not_before for s in self.queue)
-        if not deadlines:
-            return None
-        return max(0.0, min(deadlines) - now) + 0.01
-
-    def run(self) -> DispatchResult:
-        try:
-            while self.queue or self.inflight:
-                now = time.monotonic()
-                # Top up in-flight jobs (skipping backoff-gated ones) up
-                # to the worker count, so every submitted job is running
-                # and submission time approximates start time.
-                while len(self.inflight) < self.workers:
-                    index = next((i for i, s in enumerate(self.queue)
-                                  if s.not_before <= now), None)
-                    if index is None:
-                        break
-                    state = self.queue[index]
-                    del self.queue[index]
-                    self._submit(state)
-                if not self.inflight:
-                    if not self.queue:
-                        break
-                    # Everything left is waiting out its backoff.
-                    time.sleep(max(0.0, min(s.not_before
-                                            for s in self.queue) - now))
-                    continue
-                with span("dispatch.wait", inflight=len(self.inflight)):
-                    done, _ = futures_wait(set(self.inflight),
-                                           timeout=self._wait_timeout(now),
-                                           return_when=FIRST_COMPLETED)
-                broke = False
-                for future in done:
-                    state = self.inflight.get(future)
-                    if state is None:
-                        continue  # cleared by an earlier pool break
-                    if self._process_future(future, state):
-                        broke = True
-                        break
-                if not broke and self.policy.job_timeout is not None:
-                    self._cull_timeouts()
-            self._run_fallbacks()
-            return self.result
-        finally:
-            self.pool.shutdown(wait=False, cancel_futures=True)
-
-    # -- last-resort inline attempts ---------------------------------------
-
-    def _run_fallbacks(self) -> None:
-        for state, reason, error in self.fallback:
-            _log.warning("final in-process attempt", bench=state.name,
-                         prior_failures=state.attempts)
-            state.submitted_pc = time.perf_counter()
-            state.serialize_seconds = 0.0  # inline: nothing is pickled
-            state.payload_bytes = 0
-            try:
-                with span("fallback_inline", bench=state.name):
-                    job = (state.name,) + self.job_tail + \
-                        (self.plan.draw(state.name),)
-                    output = _run_job_inprocess(job)
-            except Exception as exc:
-                inc("faults.fallback.error")
-                flight = _flight_of(exc)
-                if flight is not None:
-                    self.result.flights[state.name] = flight
-                self._record_attempt(state, outcome="error",
-                                     mode="fallback")
-                self._quarantine(state, reason, state.attempts + 1,
-                                 f"{error}; inline fallback also failed: "
-                                 f"{_error_text(exc)}")
-            else:
-                inc("faults.fallback.success")
-                _log.info("inline fallback succeeded", bench=state.name)
-                self._record_attempt(state, outcome="ok", output=output,
-                                     received=time.perf_counter(),
-                                     mode="fallback")
-                self._absorb(state, output)
-
-
-def _dispatch_inline(names: Sequence[str], job_tail: Tuple,
-                     policy: RetryPolicy, plan: faults.FaultPlan,
-                     on_output: Callable[[WorkerOutput], None]
-                     ) -> DispatchResult:
-    """Serial execution with the same retry/quarantine semantics."""
-    result = DispatchResult()
-    for name in names:
-        attempts = 0
-        while True:
-            job = (name,) + job_tail + (plan.draw(name),)
-            started_pc = time.perf_counter()
-            try:
-                output = _run_job_inprocess(job)
-            except Exception as exc:  # never BaseException: ^C still aborts
-                attempts += 1
-                inc("retry.error")
-                error = _error_text(exc)
-                flight = _flight_of(exc)
-                if flight is not None:
-                    result.flights[name] = flight
-                result.records.append(JobTimeline(
-                    bench=name, mode="inline", attempt=attempts,
-                    outcome="error",
-                    execute_seconds=time.perf_counter() - started_pc))
-                if attempts <= policy.retries:
-                    _log.warning("benchmark attempt failed, will retry",
-                                 bench=name, attempts=attempts, error=error)
-                    inc("retry.resubmitted")
-                    time.sleep(policy.delay(attempts))
-                    continue
-                inc("faults.quarantined")
-                _log.error("benchmark quarantined", bench=name,
-                           reason="error", attempts=attempts, error=error)
-                result.failures[name] = JobFailure(
-                    name=name, reason="error", attempts=attempts,
-                    error=error)
-                break
-            result.records.append(JobTimeline(
-                bench=name, mode="inline", attempt=attempts + 1,
-                outcome="ok", worker_pid=output.pid,
-                execute_seconds=output.seconds,
-                transfer_seconds=max(
-                    0.0, time.perf_counter() - output.finished_at)))
-            result.outputs[name] = output
-            on_output(output)
-            break
-    return result
-
-
-def dispatch_study_jobs(
-        names: Sequence[str],
-        thresholds: Sequence[int],
-        config: DBTConfig,
-        costs: CostModel,
-        steps_scale: float,
-        include_perf: bool,
-        jobs: int,
-        policy: Optional[RetryPolicy] = None,
-        plan: Optional[faults.FaultPlan] = None,
-        on_output: Optional[Callable[[WorkerOutput], None]] = None,
-        verify: bool = False,
-        kernel: Optional[str] = None,
-        profile: bool = False,
-) -> DispatchResult:
-    """Fan ``study_benchmark`` jobs out with retries and quarantine.
-
-    Args:
-        names: benchmarks to study (duplicates dropped with a warning).
-        jobs: worker processes (capped at ``len(names)``; ``1`` runs
-            everything inline under the same failure policy).
-        policy: retry budget, job timeout and backoff (default
-            :class:`RetryPolicy`).
-        plan: the armed fault-injection plan (default: parsed from
-            ``$REPRO_FAULT_SPEC``).
-        on_output: called in completion order with every successful
-            :class:`WorkerOutput` (progress logging, incremental shard
-            writes).  Runs in the parent process.
-        verify: run the semantic verifier inside every study job.
-        kernel: trace-recording engine shipped to every job (default
-            per :func:`repro.stochastic.kernel.resolve_kernel` — the
-            worker must not re-read the environment, or a parent-side
-            explicit choice would not survive the process hop).
-        profile: arm the fine-grained profiling span sites inside every
-            job (shipped explicitly for the same reason as ``kernel``).
-
-    Returns a :class:`DispatchResult`; the caller merges observability
-    deterministically and decides what quarantined benchmarks mean.
-    """
-    names = dedupe_names(names)
-    policy = policy or RetryPolicy()
-    plan = plan if plan is not None else faults.FaultPlan.from_env()
-    on_output = on_output or (lambda output: None)
-    kernel = resolve_kernel(kernel)
-    job_tail = (tuple(thresholds), config, costs, steps_scale, include_perf,
-                verify, kernel, profile)
-    workers = min(jobs, len(names))
-    if workers <= 1:
-        if policy.job_timeout is not None:
-            _log.warning("job timeout is not enforced on the inline path",
-                         job_timeout=policy.job_timeout)
-        return _dispatch_inline(names, job_tail, policy, plan, on_output)
-    return _PoolDispatcher(names, job_tail, workers, policy, plan,
-                           on_output).run()
+from .pool import (BACKENDS, BATCH_ENV, DispatchResult, JOBS_ENV, Job,
+                   JobFailure, POOL_ENV, RetryPolicy, WorkerJobError,
+                   WorkerOutput, dedupe_names, dispatch_study_jobs,
+                   resolve_batch, resolve_jobs, resolve_pool)
+
+__all__ = [
+    "BACKENDS", "BATCH_ENV", "DispatchResult", "JOBS_ENV", "Job",
+    "JobFailure", "POOL_ENV", "RetryPolicy", "WorkerJobError",
+    "WorkerOutput", "dedupe_names", "dispatch_study_jobs", "resolve_batch",
+    "resolve_jobs", "resolve_pool",
+]

@@ -1,0 +1,39 @@
+"""The in-process backend: jobs run inline in the parent, serially.
+
+This is the ``jobs=1`` path expressed through the backend interface:
+``submit`` runs the batch synchronously under worker-grade state
+isolation (:func:`~.worker.run_job_inprocess`) and returns an
+already-resolved future.  No processes, no pickling, no transport —
+which is exactly why the dispatcher's inline-fallback and
+byte-identity guarantees are anchored to it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import List, Sequence
+
+from .base import PoolBackend
+from .worker import BatchItem, Job, run_batch, run_job_inprocess
+
+
+class InProcessPool(PoolBackend):
+    """Serial inline execution behind the backend interface."""
+
+    name = "inprocess"
+    is_inline = True
+    supports_timeout = False
+
+    def start(self) -> None:
+        pass
+
+    def submit(self, jobs: Sequence[Job]) -> "Future[List[BatchItem]]":
+        future: "Future[List[BatchItem]]" = Future()
+        future.set_result(run_batch(jobs, run_job_inprocess))
+        return future
+
+    def kill(self) -> None:
+        pass
+
+    def shutdown(self) -> None:
+        pass

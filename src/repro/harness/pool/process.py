@@ -1,0 +1,103 @@
+"""Process-pool backends: warm persistent workers, optional batching.
+
+:class:`ProcessPool` wraps ``concurrent.futures.ProcessPoolExecutor``
+with a *warm registry*: on graceful shutdown the executor is parked
+(keyed by worker count) instead of destroyed, and the next pool of the
+same width adopts it — workers are spawned once, import the study
+machinery once, and are reused across dispatches.  ``kill()`` never
+parks: a pool torn down to reclaim a hung worker, or one that broke
+under a crashed job, is discarded so the warm registry only ever holds
+healthy executors.
+
+Warm reuse is safe across runs with different profiling settings
+because the worker entry point re-arms profiling per job; fault
+injection is parent-side (tokens are drawn before submission), so a
+warm worker carries no fault state either.
+
+:class:`BatchedProcessPool` is the same transport with a coarser unit
+of dispatch: the dispatcher hands it several jobs per submission,
+amortizing the per-future pickle/queue/wakeup overhead that dominates
+short study cells.  The mechanics are identical — the batch size lives
+in the dispatcher, the backend just carries the name that lands in the
+telemetry.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Dict, List, Sequence
+
+from ...obs import log as obslog
+from ...obs.registry import inc
+from .base import PoolBackend
+from .worker import BatchItem, Job, pool_worker_init, run_job_batch
+
+_log = obslog.get_logger("repro.harness.pool.process")
+
+#: Parked executors awaiting reuse, keyed by worker count.  One slot
+#: per width is enough: the study engine runs one dispatch at a time.
+_WARM: Dict[int, ProcessPoolExecutor] = {}
+
+
+def shutdown_warm_pools() -> None:
+    """Terminate every parked warm executor (atexit, test teardown)."""
+    while _WARM:
+        _, executor = _WARM.popitem()
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_warm_pools)
+
+
+class ProcessPool(PoolBackend):
+    """Persistent worker processes with warm reuse across dispatches."""
+
+    name = "process"
+    is_inline = False
+    supports_timeout = True
+
+    def __init__(self, workers: int, profile: bool = False):
+        super().__init__(workers, profile)
+        self._executor: ProcessPoolExecutor = None  # type: ignore[assignment]
+
+    def start(self) -> None:
+        warm = _WARM.pop(self.workers, None)
+        if warm is not None:
+            inc("pool.warm_hit")
+            _log.debug("adopted warm process pool", workers=self.workers)
+            self._executor = warm
+            return
+        inc("pool.warm_miss")
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers, initializer=pool_worker_init,
+            initargs=(self.profile,))
+
+    def submit(self, jobs: Sequence[Job]) -> "Future[List[BatchItem]]":
+        return self._executor.submit(run_job_batch, list(jobs))
+
+    def kill(self) -> None:
+        """Terminate worker processes and discard the executor.
+
+        ``ProcessPoolExecutor`` offers no per-worker kill, so reclaiming
+        one hung worker means tearing the whole pool down (``_processes``
+        is private but stable since 3.7; guarded anyway).
+        """
+        processes = list(
+            (getattr(self._executor, "_processes", None) or {}).values())
+        for process in processes:
+            process.terminate()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        """Park the executor for the next same-width pool to adopt."""
+        stale = _WARM.pop(self.workers, None)
+        if stale is not None:  # defensive: never leak a displaced pool
+            stale.shutdown(wait=False, cancel_futures=True)
+        _WARM[self.workers] = self._executor
+
+
+class BatchedProcessPool(ProcessPool):
+    """The process transport dispatched in multi-job batches."""
+
+    name = "batched"

@@ -5,7 +5,7 @@ thresholds in a single replay pass, runs the §2 comparisons and the
 §4.4/§4.5 models, and returns a
 :class:`~repro.harness.results.StudyResults`.  Benchmarks are independent
 jobs, so with ``jobs > 1`` they fan out across a process pool (see
-:mod:`repro.harness.parallel`); workers ship their metrics and spans back
+:mod:`repro.harness.pool`); workers ship their metrics and spans back
 to the parent, so observability output matches a serial run.
 
 Results are cached per benchmark: each ``(benchmark, configuration)``
@@ -46,8 +46,9 @@ from ..workloads.spec import (BASE_THRESHOLD, SIM_THRESHOLDS,
                               SyntheticBenchmark, all_benchmarks)
 from .faults import (FaultPlan, resolve_job_timeout, resolve_retries,
                      set_active_plan)
-from .parallel import (RetryPolicy, WorkerOutput, dedupe_names,
-                       dispatch_study_jobs, resolve_jobs)
+from .pool import (RetryPolicy, WorkerOutput, dedupe_names,
+                   dispatch_study_jobs, resolve_batch, resolve_jobs,
+                   resolve_pool)
 from .results import (BenchmarkResult, PerfPoint, StudyResults,
                       load_aggregate, load_shard, save_aggregate,
                       save_shard, shard_filename)
@@ -316,7 +317,9 @@ def run_full_study(names: Optional[Iterable[str]] = None,
                    verify: Optional[bool] = None,
                    kernel: Optional[str] = None,
                    profile: Optional[bool] = None,
-                   flight_dir: Optional[str] = None) -> StudyResults:
+                   flight_dir: Optional[str] = None,
+                   pool: Optional[str] = None,
+                   batch: Optional[int] = None) -> StudyResults:
     """Run (or load from cache) the full evaluation study.
 
     With the default arguments this reproduces every figure's raw data
@@ -360,12 +363,20 @@ def run_full_study(names: Optional[Iterable[str]] = None,
         flight_dir: where to write flight-recorder dumps for failed
             benchmarks (default: ``$REPRO_FLIGHT_DIR``, else
             ``<cache_dir>/flight``, else nowhere).
+        pool: pool backend for the fan-out — ``"inprocess"``,
+            ``"process"`` or ``"batched"`` (default: ``$REPRO_POOL``,
+            else chosen from ``jobs``/``batch``).  Every backend
+            produces bit-identical results.
+        batch: benchmarks per dispatch unit on the batched backend
+            (default: ``$REPRO_BATCH``, else sized automatically).
     """
     config = config or DBTConfig()
     if names is None:
         names = [b.name for b in all_benchmarks()]
     names = dedupe_names(list(names))
     jobs = resolve_jobs(jobs)
+    pool = resolve_pool(pool)
+    batch = resolve_batch(batch)
     verify = resolve_verify(verify)
     kernel = resolve_kernel(kernel)
     profile = resolve_profile(profile)
@@ -394,7 +405,7 @@ def run_full_study(names: Optional[Iterable[str]] = None,
         return _compute_study(
             names, thresholds, config, costs, steps_scale, include_perf,
             verify, kernel, cache_dir, cache_path, key, confkey, jobs,
-            policy, plan, profile, flight_dir)
+            policy, plan, profile, flight_dir, pool, batch)
     finally:
         set_active_plan(None)
 
@@ -439,7 +450,7 @@ def _write_flight_dumps(failures, flights, flight_dir, cache_dir) -> None:
 def _compute_study(names, thresholds, config, costs, steps_scale,
                    include_perf, verify, kernel, cache_dir, cache_path,
                    key, confkey, jobs, policy, plan, profile=False,
-                   flight_dir=None) -> StudyResults:
+                   flight_dir=None, pool=None, batch=None) -> StudyResults:
     """The cache-miss path of :func:`run_full_study`."""
     collected: Dict[str, BenchmarkResult] = {}
     timings: Dict[str, float] = {}
@@ -484,7 +495,7 @@ def _compute_study(names, thresholds, config, costs, steps_scale,
                 pending, thresholds, config, costs, steps_scale,
                 include_perf, jobs=jobs, policy=policy, plan=plan,
                 on_output=_absorb, verify=verify, kernel=kernel,
-                profile=profile)
+                profile=profile, pool=pool, batch=batch)
             dispatch_wall = time.perf_counter() - dispatch_started
             failures = dispatch.failures
             own_pid = os.getpid()
@@ -534,6 +545,9 @@ def _compute_study(names, thresholds, config, costs, steps_scale,
         steps_scale=steps_scale, include_perf=include_perf,
         timings=timings, total_seconds=round(total, 3),
         extra={"jobs": jobs, "cached_benchmarks": cached_names,
+               "pool": dispatch.backend if dispatch is not None else None,
+               "batch_size":
+                   dispatch.batch_size if dispatch is not None else None,
                "config_fingerprint": confkey,
                "retries": policy.retries,
                "job_timeout": policy.job_timeout,

@@ -110,15 +110,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
-    before = report.comparable_metrics(report.load_payload(args.before))
-    after = report.comparable_metrics(report.load_payload(args.after))
+    payload_before = report.load_payload(args.before)
+    payload_after = report.load_payload(args.after)
+    before = report.comparable_metrics(payload_before)
+    after = report.comparable_metrics(payload_after)
     rows = report.diff_metrics(before, after,
                                threshold=args.threshold / 100.0)
+    flag_rows = report.diff_flags(report.comparable_flags(payload_before),
+                                  report.comparable_flags(payload_after))
     print(f"diff: {os.path.basename(args.before)} -> "
           f"{os.path.basename(args.after)} "
           f"(threshold {args.threshold:g}%)")
     print(report.render_diff(rows, show_all=args.all))
-    return EXIT_REGRESSION if any(r["regression"] for r in rows) else 0
+    extras = report.render_diff_extras(
+        flag_rows,
+        report.dropped_keys(before, after),
+        (report.comparable_nulls(payload_before),
+         report.comparable_nulls(payload_after)),
+        (report.run_flags(payload_before), report.run_flags(payload_after)))
+    if extras:
+        print(extras)
+    regressed = (any(r["regression"] for r in rows)
+                 or any(r["regression"] for r in flag_rows))
+    return EXIT_REGRESSION if regressed else 0
 
 
 def _cmd_prom(args: argparse.Namespace) -> int:

@@ -12,7 +12,7 @@ The ring is deliberately tiny and allocation-cheap (a ``deque`` with
 ``maxlen``): it runs always-on wherever the metrics registry is enabled,
 costs one dict append per span/log event (both already aggregate outside
 hot loops), and never grows.  Workers ship their ring back inside
-:class:`~repro.harness.parallel.WorkerJobError` when a job raises; the
+:class:`~repro.harness.pool.WorkerJobError` when a job raises; the
 parent folds it into the quarantine dump
 (:func:`~repro.harness.runner.run_full_study` writes one JSON file per
 quarantined benchmark).

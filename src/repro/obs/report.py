@@ -97,6 +97,11 @@ _LOWER_IS_BETTER = ("seconds", "overhead_ratio", "payload_bytes",
 #: Leaf-key suffixes where a *smaller* value is a regression.
 _HIGHER_IS_BETTER = ("speedup", "coverage", "effective_parallelism")
 
+#: Boolean leaf-key suffixes where ``True`` is the healthy value — a
+#: true-to-false flip on one of these is a regression, not a config
+#: change (``figure_data_identical`` is the canonical example).
+_TRUE_IS_BETTER = ("identical", "ok", "passed")
+
 
 def direction_of(key: str) -> int:
     """-1 if lower is better, +1 if higher is better, 0 if informational."""
@@ -107,6 +112,15 @@ def direction_of(key: str) -> int:
     for suffix in _LOWER_IS_BETTER:
         if leaf == suffix or leaf.endswith("_" + suffix):
             return -1
+    return 0
+
+
+def bool_direction(key: str) -> int:
+    """+1 if ``True`` is the healthy value for this key, 0 otherwise."""
+    leaf = key.rsplit(".", 1)[-1]
+    for suffix in _TRUE_IS_BETTER:
+        if leaf == suffix or leaf.endswith("_" + suffix):
+            return 1
     return 0
 
 
@@ -129,6 +143,38 @@ def flatten_numbers(payload: Any, prefix: str = "",
         pass
     elif isinstance(payload, (int, float)):
         out[prefix[:-1]] = float(payload)
+    return out
+
+
+def flatten_flags(payload: Any, prefix: str = "",
+                  out: Optional[Dict[str, bool]] = None) -> Dict[str, bool]:
+    """Every boolean leaf of a nested dict as ``dotted.path -> value``.
+
+    The complement of :func:`flatten_numbers`: bools are excluded from
+    the numeric diff (a ``figure_data_identical`` flip is not a
+    ``0.0 -> 1.0`` timing change), so they get their own bag here and
+    their own direction rule (:func:`bool_direction`) in the diff.
+    """
+    if out is None:
+        out = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            flatten_flags(value, f"{prefix}{key}.", out)
+    elif isinstance(payload, bool):
+        out[prefix[:-1]] = payload
+    return out
+
+
+def flatten_nulls(payload: Any, prefix: str = "",
+                  out: Optional[List[str]] = None) -> List[str]:
+    """Every ``null`` leaf of a nested dict as a ``dotted.path`` list."""
+    if out is None:
+        out = []
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            flatten_nulls(value, f"{prefix}{key}.", out)
+    elif payload is None:
+        out.append(prefix[:-1])
     return out
 
 
@@ -167,6 +213,33 @@ def comparable_metrics(payload: Dict[str, Any]) -> Dict[str, float]:
         {k: v for k, v in picked.items() if v is not None})
 
 
+def comparable_flags(payload: Dict[str, Any]) -> Dict[str, bool]:
+    """The diffable booleans of one artifact (see :func:`flatten_flags`)."""
+    manifest = manifest_of(payload)
+    return flatten_flags(payload if manifest is None else manifest)
+
+
+def comparable_nulls(payload: Dict[str, Any]) -> List[str]:
+    """Directional keys an artifact carries as ``null``.
+
+    A ``"speedup": null`` written on a one-core box flattens to nothing
+    and silently gates nothing; surfacing it lets the diff say so out
+    loud.  Non-directional nulls (config fields, absent sections) are
+    not interesting and are dropped.
+    """
+    manifest = manifest_of(payload)
+    source = payload if manifest is None else manifest
+    return [key for key in flatten_nulls(source) if direction_of(key) != 0]
+
+
+def run_flags(payload: Dict[str, Any]) -> List[str]:
+    """An artifact's top-level ``flags`` list (``insufficient_cores``…)."""
+    flags = payload.get("flags")
+    if isinstance(flags, list):
+        return [str(flag) for flag in flags]
+    return []
+
+
 def diff_metrics(a: Dict[str, float], b: Dict[str, float],
                  threshold: float) -> List[Dict[str, Any]]:
     """Compare two flat metric bags; flag directional worsenings.
@@ -174,8 +247,10 @@ def diff_metrics(a: Dict[str, float], b: Dict[str, float],
     A row is a *regression* when a lower-is-better key grows (or a
     higher-is-better key shrinks) by more than ``threshold`` (a
     fraction, e.g. 0.10 for 10%).  Keys present on only one side are
-    skipped — a diff across schema versions degrades to the common
-    subset instead of erroring.  Sub-10ms timing keys never regress:
+    not compared — a diff across schema versions degrades to the common
+    subset instead of erroring — but they are not silently lost either:
+    :func:`dropped_keys` names them and the diff CLI prints them.
+    Sub-10ms timing keys never regress:
     at that scale the "change" is scheduler noise, not a signal.
     """
     rows: List[Dict[str, Any]] = []
@@ -197,6 +272,36 @@ def diff_metrics(a: Dict[str, float], b: Dict[str, float],
     return rows
 
 
+def diff_flags(a: Dict[str, bool], b: Dict[str, bool]
+               ) -> List[Dict[str, Any]]:
+    """Boolean flips between two flag bags.
+
+    A true-to-false flip on a :func:`bool_direction` key (say
+    ``figure_data_identical``) is a *regression*; every other flip is
+    reported as informational — a config change worth seeing, not a
+    gate.
+    """
+    rows: List[Dict[str, Any]] = []
+    for key in sorted(set(a) & set(b)):
+        before, after = a[key], b[key]
+        if before == after:
+            continue
+        regressed = bool_direction(key) > 0 and before and not after
+        rows.append({"key": key, "before": before, "after": after,
+                     "regression": regressed})
+    return rows
+
+
+def dropped_keys(a: Dict[str, float], b: Dict[str, float]
+                 ) -> List[Dict[str, str]]:
+    """Metric keys present on only one side of a diff, by side."""
+    rows = [{"key": key, "side": "baseline"}
+            for key in sorted(set(a) - set(b))]
+    rows.extend({"key": key, "side": "candidate"}
+                for key in sorted(set(b) - set(a)))
+    return rows
+
+
 def render_diff(rows: List[Dict[str, Any]], show_all: bool = False) -> str:
     """The diff table; regressions always shown, the rest behind a flag."""
     shown = [r for r in rows if show_all or r["regression"]]
@@ -213,6 +318,43 @@ def render_diff(rows: List[Dict[str, Any]], show_all: bool = False) -> str:
             flag = "  <-- regression" if row["regression"] else ""
             lines.append(f"  {row['key']:44s} {row['before']:12.4f} "
                          f"{row['after']:12.4f} {change}{flag}")
+    return "\n".join(lines)
+
+
+def render_diff_extras(flag_rows: List[Dict[str, Any]],
+                       dropped: List[Dict[str, str]],
+                       nulls: Tuple[List[str], List[str]],
+                       flags: Tuple[List[str], List[str]]) -> str:
+    """Everything the numeric diff table cannot say, one line each.
+
+    Boolean flips (regressions marked), directional keys carried as
+    ``null`` (present but gating nothing), each side's top-level run
+    flags (``insufficient_cores``…), and one-sided keys the numeric
+    diff skipped.  Empty string when there is nothing to add.
+    """
+    lines: List[str] = []
+    for row in flag_rows:
+        marker = "  <-- regression" if row["regression"] else ""
+        lines.append(f"  flag {row['key']}: {row['before']} -> "
+                     f"{row['after']}{marker}")
+    null_before, null_after = nulls
+    for key in sorted(set(null_before) | set(null_after)):
+        side = ("both sides" if key in null_before and key in null_after
+                else "baseline" if key in null_before else "candidate")
+        lines.append(f"  null {key} ({side}): directional metric "
+                     f"carries no value, nothing gated")
+    flags_before, flags_after = flags
+    if flags_before:
+        lines.append(f"  baseline flags: {', '.join(flags_before)}")
+    if flags_after:
+        lines.append(f"  candidate flags: {', '.join(flags_after)}")
+    for side in ("baseline", "candidate"):
+        keys = [row["key"] for row in dropped if row["side"] == side]
+        if keys:
+            shown = ", ".join(keys[:6])
+            more = f" (+{len(keys) - 6} more)" if len(keys) > 6 else ""
+            lines.append(f"  {len(keys)} {side}-only key(s) not "
+                         f"compared: {shown}{more}")
     return "\n".join(lines)
 
 

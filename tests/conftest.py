@@ -13,7 +13,8 @@ from repro.stochastic import ProgramBehavior, steady, walk
 #: Runtime knobs the suite must not inherit from the developer's shell —
 #: a stray REPRO_JOBS=1 or REPRO_KERNEL=scalar would silently change
 #: what the tests exercise.
-_REPRO_ENV_VARS = ("REPRO_JOBS", "REPRO_KERNEL", "REPRO_FAULT_SPEC",
+_REPRO_ENV_VARS = ("REPRO_JOBS", "REPRO_POOL", "REPRO_BATCH",
+                   "REPRO_KERNEL", "REPRO_FAULT_SPEC",
                    "REPRO_VERIFY", "REPRO_RETRIES", "REPRO_JOB_TIMEOUT",
                    "REPRO_PROFILE", "REPRO_PROFILE_SAMPLE",
                    "REPRO_FLIGHT_DIR", "REPRO_FLIGHT_CAPACITY")
@@ -32,6 +33,11 @@ def _hermetic_repro_env(monkeypatch):
     test_kernel = os.environ.get(_TEST_KERNEL_VAR)
     if test_kernel:
         monkeypatch.setenv("REPRO_KERNEL", test_kernel)
+    yield
+    # Warm pool workers hold fork-time state (environment, module
+    # globals) — a worker parked by one test must not serve the next.
+    from repro.harness.pool import shutdown_warm_pools
+    shutdown_warm_pools()
 
 
 @pytest.fixture

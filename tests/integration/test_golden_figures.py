@@ -97,20 +97,30 @@ def test_golden_corpus_digest(name):
 
 
 def test_reduced_study_matrix_byte_identical():
-    """kernel x jobs x verify: every cell produces identical bytes."""
+    """kernel x dispatch mode x verify: every cell has identical bytes."""
+    modes = [dict(jobs=1),                            # inprocess backend
+             dict(jobs=2),                            # process backend
+             dict(jobs=2, pool="batched", batch=2)]   # batched backend
     baseline = None
     for kernel in ("scalar", "vector"):
-        for jobs in (1, 2):
-            for verify in (False, True):
-                results = run_full_study(jobs=jobs, kernel=kernel,
-                                         verify=verify, **REDUCED)
+        for mode in modes:
+            # Verification is dispatch-blind; sweeping it again per pool
+            # backend would slow the wall without adding coverage.
+            verifies = (False, True) if "pool" not in mode else (False,)
+            for verify in verifies:
+                results = run_full_study(kernel=kernel, verify=verify,
+                                         **mode, **REDUCED)
                 got = _figure_bytes(results)
-                label = f"kernel={kernel} jobs={jobs} verify={verify}"
+                label = f"kernel={kernel} mode={mode} verify={verify}"
                 if baseline is None:
                     baseline = got
                 else:
                     assert got == baseline, f"{label} diverged"
                 assert results.manifest["kernel"] == kernel, label
+                if "pool" in mode:
+                    assert results.manifest["pool"] == mode["pool"], label
+                    assert results.manifest["batch_size"] == \
+                        mode["batch"], label
 
 
 def test_reduced_figures_render_identically_across_kernels():

@@ -143,6 +143,63 @@ def test_render_diff_lists_regressions():
     assert "total_seconds" in text
 
 
+# -- boolean flags, nulls and dropped keys (diff blind spots) -----------------
+
+
+def test_bool_direction_classifies_keys():
+    assert report.bool_direction("figure_data_identical") == 1
+    assert report.bool_direction("kernel.figure_data_identical") == 1
+    assert report.bool_direction("checks_passed") == 1
+    assert report.bool_direction("verify") == 0  # config, not health
+
+
+def test_comparable_flags_flattens_bool_leaves():
+    flags = report.comparable_flags(
+        {"figure_data_identical": True, "serial_seconds": 3.0,
+         "kernel": {"figure_data_identical": False}, "verify": True})
+    assert flags == {"figure_data_identical": True,
+                     "kernel.figure_data_identical": False,
+                     "verify": True}
+
+
+def test_diff_flags_true_to_false_is_a_regression():
+    rows = report.diff_flags(
+        {"figure_data_identical": True, "verify": True, "same": True},
+        {"figure_data_identical": False, "verify": False, "same": True})
+    by_key = {r["key"]: r for r in rows}
+    assert set(by_key) == {"figure_data_identical", "verify"}  # flips only
+    # The healthy-bool flip is a regression; the config flip is not.
+    assert by_key["figure_data_identical"]["regression"]
+    assert not by_key["verify"]["regression"]
+    # ...and the healing flip (false -> true) is never a regression.
+    healed = report.diff_flags({"figure_data_identical": False},
+                               {"figure_data_identical": True})
+    assert not healed[0]["regression"]
+
+
+def test_comparable_nulls_reports_directional_keys_only():
+    nulls = report.comparable_nulls(
+        {"speedup": None, "note": None, "serial_seconds": 3.0,
+         "dispatch": {"overhead_ratio": None}})
+    # A null speedup means the gate silently vanished — worth a line; a
+    # null informational key is not.
+    assert sorted(nulls) == ["dispatch.overhead_ratio", "speedup"]
+
+
+def test_dropped_keys_names_one_sided_metrics():
+    rows = report.dropped_keys({"a_seconds": 1.0, "shared_seconds": 2.0},
+                               {"b_seconds": 3.0, "shared_seconds": 2.5})
+    assert {(r["key"], r["side"]) for r in rows} == \
+        {("a_seconds", "baseline"), ("b_seconds", "candidate")}
+
+
+def test_run_flags_reads_top_level_list():
+    assert report.run_flags({"flags": ["insufficient_cores"]}) == \
+        ["insufficient_cores"]
+    assert report.run_flags({"flags": "nope"}) == []
+    assert report.run_flags({}) == []
+
+
 # -- Prometheus export --------------------------------------------------------
 
 
@@ -209,6 +266,41 @@ def test_cli_diff_against_bench_baseline(cache, tmp_path):
     with open(bench, "w") as handle:
         json.dump({"serial_seconds": 3.0, "speedup": 2.0}, handle)
     assert main(["diff", bench, report.resolve_run(None, cache)]) == 0
+
+
+def test_cli_diff_flag_flip_regresses_and_prints(tmp_path, capsys):
+    before = str(tmp_path / "before.json")
+    after = str(tmp_path / "after.json")
+    with open(before, "w") as handle:
+        json.dump({"serial_seconds": 3.0,
+                   "figure_data_identical": True}, handle)
+    with open(after, "w") as handle:
+        json.dump({"serial_seconds": 3.0,
+                   "figure_data_identical": False}, handle)
+    # No numeric regression at all — the boolean flip alone must gate.
+    assert main(["diff", before, after]) == EXIT_REGRESSION
+    out = capsys.readouterr().out
+    assert "flag figure_data_identical: True -> False" in out
+    assert "<-- regression" in out
+
+
+def test_cli_diff_prints_nulls_flags_and_dropped_keys(tmp_path, capsys):
+    before = str(tmp_path / "before.json")
+    after = str(tmp_path / "after.json")
+    with open(before, "w") as handle:
+        json.dump({"serial_seconds": 3.0, "speedup": None,
+                   "old_only_seconds": 1.0,
+                   "flags": ["insufficient_cores"]}, handle)
+    with open(after, "w") as handle:
+        json.dump({"serial_seconds": 3.0, "speedup": 1.5,
+                   "flags": []}, handle)
+    # None of the blind spots is a regression, but all are said out loud.
+    assert main(["diff", before, after]) == 0
+    out = capsys.readouterr().out
+    assert "null speedup (baseline)" in out
+    assert "baseline flags: insufficient_cores" in out
+    assert "baseline-only key(s) not compared: old_only_seconds" in out
+    assert "candidate-only key(s) not compared: speedup" in out
 
 
 def test_cli_catalog_markdown(capsys):
