@@ -101,7 +101,8 @@ def run_threshold_sweep(name: str,
                         train_trace: ExecutionTrace,
                         thresholds: Sequence[int],
                         base_config: Optional[DBTConfig] = None,
-                        loops: Optional[LoopForest] = None
+                        loops: Optional[LoopForest] = None,
+                        replay_kernel: Optional[str] = None
                         ) -> BenchmarkStudy:
     """Run the full §2 methodology for one benchmark.
 
@@ -117,6 +118,9 @@ def run_threshold_sweep(name: str,
         base_config: DBT knobs; its threshold field is overridden per
             sweep point.
         loops: optional precomputed loop forest.
+        replay_kernel: replay engine for the sweep, ``"scalar"`` or
+            ``"batched"`` (default ``$REPRO_REPLAY_KERNEL``, else
+            batched); outcomes are identical either way.
     """
     base_config = base_config or DBTConfig()
     loops = loops or find_loops(cfg)
@@ -133,7 +137,8 @@ def run_threshold_sweep(name: str,
     # threshold's freeze state simultaneously (event-for-event equivalent
     # to per-threshold ReplayDBT runs; see repro.dbt.multireplay).
     multi = MultiThresholdReplay(ref_trace, cfg, thresholds,
-                                 base_config=base_config, loops=loops).run()
+                                 base_config=base_config, loops=loops,
+                                 replay_kernel=replay_kernel).run()
     outcomes: Dict[int, ThresholdOutcome] = {}
     for threshold in dict.fromkeys(thresholds):
         state = multi.state(threshold)

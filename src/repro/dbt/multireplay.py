@@ -34,12 +34,14 @@ from ..obs.registry import inc
 from ..obs.spans import span
 from ..profiles.model import ProfileSnapshot, Region
 from ..stochastic.trace import ExecutionTrace, assemble_trace
+from .batchreplay import run_batched_replay
 from .codecache import TranslationMap, translation_map_from_replay
 from .config import DBTConfig
 from .pool import CandidatePool
 from .regions import RegionFormer
 from .replay import (frozen_counter_view, registration_positions,
                      snapshot_from_state)
+from .replay_kernel import resolve_replay_chunk, resolve_replay_kernel
 
 
 class ThresholdReplayState:
@@ -95,12 +97,21 @@ class MultiThresholdReplay:
         base_config: DBT knobs; its threshold field is overridden per
             swept point.
         loops: optional precomputed loop forest.
+        replay_kernel: ``"scalar"`` (merged heap, the oracle) or
+            ``"batched"`` (per-threshold windowed numpy sweeps); default
+            ``$REPRO_REPLAY_KERNEL``, else ``"batched"``.  Threshold
+            states never interact, so sweeping them one by one in the
+            batched kernel is equivalent to draining the merged heap.
+        replay_chunk: target events per batched window (default
+            ``$REPRO_REPLAY_CHUNK``, else 2048; scalar ignores it).
     """
 
     def __init__(self, trace: ExecutionTrace, cfg: ControlFlowGraph,
                  thresholds: Sequence[int],
                  base_config: Optional[DBTConfig] = None,
-                 loops: Optional[LoopForest] = None):
+                 loops: Optional[LoopForest] = None,
+                 replay_kernel: Optional[str] = None,
+                 replay_chunk: Optional[int] = None):
         if trace.num_blocks != cfg.num_nodes:
             raise ValueError("trace and CFG disagree on block count")
         if not thresholds:
@@ -109,6 +120,8 @@ class MultiThresholdReplay:
         self.trace = trace
         self.cfg = cfg
         self.loops = loops or find_loops(cfg)
+        self.replay_kernel = resolve_replay_kernel(replay_kernel)
+        self.replay_chunk = resolve_replay_chunk(replay_chunk)
         self.states: Dict[int, ThresholdReplayState] = {}
         for t in thresholds:
             if t not in self.states:
@@ -120,7 +133,9 @@ class MultiThresholdReplay:
     def from_batches(cls, batches, cfg: ControlFlowGraph,
                      thresholds: Sequence[int],
                      base_config: Optional[DBTConfig] = None,
-                     loops: Optional[LoopForest] = None
+                     loops: Optional[LoopForest] = None,
+                     replay_kernel: Optional[str] = None,
+                     replay_chunk: Optional[int] = None
                      ) -> "MultiThresholdReplay":
         """Ingest a streaming event-batch producer (the vector kernel).
 
@@ -131,7 +146,8 @@ class MultiThresholdReplay:
         """
         trace = assemble_trace(batches, cfg.num_nodes, build_index=True)
         return cls(trace, cfg, thresholds, base_config=base_config,
-                   loops=loops)
+                   loops=loops, replay_kernel=replay_kernel,
+                   replay_chunk=replay_chunk)
 
     @property
     def thresholds(self) -> List[int]:
@@ -139,60 +155,99 @@ class MultiThresholdReplay:
         return sorted(self.states)
 
     def run(self) -> "MultiThresholdReplay":
-        """Drain the merged registration stream, updating every state."""
+        """Drain every threshold's registration stream, updating every
+        state."""
         if self._ran:
             return self
         self._ran = True
         events = self.trace.events()
         order = self.thresholds
         states = [self.states[t] for t in order]
-        pools = [CandidatePool(s.config) for s in states]
         positions = [registration_positions(events, t) for t in order]
-        # Per (threshold, block): index of the next registration to
-        # schedule once the current one has been consumed unfrozen.
-        next_k: List[Dict[int, int]] = [
-            {block: 1 for block in regs} for regs in positions]
 
-        with span("replay.multi_run", thresholds=len(states)):
-            heap: List[Tuple[int, int, int]] = [
-                (int(regs[0]), idx, block)
-                for idx, per_block in enumerate(positions)
-                for block, regs in per_block.items()]
-            heapq.heapify(heap)
+        with span("replay.multi_run", thresholds=len(states),
+                  kernel=self.replay_kernel):
+            if self.replay_kernel == "batched":
+                self._run_batched(states, positions, events)
+            else:
+                self._run_scalar(states, positions, events)
+                inc("replay.kernel.scalar.runs")
 
-            while heap:
-                pos, idx, block = heapq.heappop(heap)
-                state = states[idx]
-                freeze_step = state.freeze_step
-                if block in freeze_step:
-                    continue  # counting stopped before this occurrence
-                trigger = pools[idx].register(block)
-                if trigger:
-                    self._optimize(state, pools[idx], events, now=pos + 1)
-                if block not in freeze_step:
-                    regs = positions[idx][block]
-                    k = next_k[idx][block]
-                    if k < len(regs):
-                        next_k[idx][block] = k + 1
-                        heapq.heappush(heap, (int(regs[k]), idx, block))
-
+        # One shared pass over the trace, however many thresholds ride
+        # it: replay.runs / replay.blocks_translated count the pass,
+        # not the states (see the obs catalog), matching the cost model.
+        inc("replay.runs")
+        inc("replay.blocks_translated", len(events))
         for state in states:
-            inc("replay.runs")
-            inc("replay.blocks_translated", len(events))
             inc("replay.retranslations", len(state.optimized))
             inc("replay.regions_formed", len(state.regions))
             inc("replay.optimization_events",
                 len(state.optimization_events))
         return self
 
-    def _optimize(self, state: ThresholdReplayState, pool: CandidatePool,
-                  events, now: int) -> None:
-        drained = pool.drain()
+    def _run_scalar(self, states: List[ThresholdReplayState],
+                    positions: List[Dict], events) -> None:
+        """The oracle: one merged heap over every threshold's stream."""
+        pools = [CandidatePool(s.config) for s in states]
+        # Per (threshold, block): index of the next registration to
+        # schedule once the current one has been consumed unfrozen.
+        next_k: List[Dict[int, int]] = [
+            {block: 1 for block in regs} for regs in positions]
+        heap: List[Tuple[int, int, int]] = [
+            (int(regs[0]), idx, block)
+            for idx, per_block in enumerate(positions)
+            for block, regs in per_block.items()]
+        heapq.heapify(heap)
+
+        while heap:
+            pos, idx, block = heapq.heappop(heap)
+            state = states[idx]
+            freeze_step = state.freeze_step
+            if block in freeze_step:
+                continue  # counting stopped before this occurrence
+            trigger = pools[idx].register(block)
+            if trigger:
+                drained = pools[idx].drain()
+                self._optimize_blocks(state, events, drained, now=pos + 1)
+            if block not in freeze_step:
+                regs = positions[idx][block]
+                k = next_k[idx][block]
+                if k < len(regs):
+                    next_k[idx][block] = k + 1
+                    heapq.heappush(heap, (int(regs[k]), idx, block))
+
+    def _run_batched(self, states: List[ThresholdReplayState],
+                     positions: List[Dict], events) -> None:
+        """Windowed numpy sweeps, one per threshold state.
+
+        States never interact (each has its own pool and freeze map), so
+        sweeping them independently is equivalent to the merged heap.
+        """
+        windows = 0
+        swept = 0
+        for state, per_block in zip(states, positions):
+            def optimize(drained: List[int], now: int,
+                         _state: ThresholdReplayState = state) -> Set[int]:
+                return self._optimize_blocks(_state, events, drained, now)
+
+            stats = run_batched_replay(
+                per_block, state.config, optimize,
+                self.trace.num_blocks, chunk=self.replay_chunk)
+            windows += stats.windows
+            swept += stats.events
+        inc("replay.kernel.batched.runs")
+        inc("replay.kernel.batched.windows", windows)
+        inc("replay.kernel.batched.events", swept)
+
+    def _optimize_blocks(self, state: ThresholdReplayState, events,
+                         drained: List[int], now: int) -> Set[int]:
+        """Run one state's optimisation phase over a drained pool;
+        returns the newly frozen blocks (shared by both kernels)."""
         pool_blocks = [b for b in drained if b not in state.optimized]
         if len(pool_blocks) != len(drained):
             inc("pool.evictions", len(drained) - len(pool_blocks))
         if not pool_blocks:
-            return
+            return set()
         counters = frozen_counter_view(events, state.freeze_step, now)
         with sampled_span("region.form", threshold=state.config.threshold,
                           blocks=len(pool_blocks)):
@@ -205,6 +260,7 @@ class MultiThresholdReplay:
         state.optimized.update(result.newly_optimized)
         state.optimization_events.append(
             (now, sorted(result.newly_optimized)))
+        return result.newly_optimized
 
     # -- output ---------------------------------------------------------------------
 

@@ -28,10 +28,12 @@ from ..obs.registry import inc
 from ..obs.spans import span
 from ..profiles.model import BlockProfile, ProfileSnapshot, Region
 from ..stochastic.trace import BlockEvents, ExecutionTrace, assemble_trace
+from .batchreplay import run_batched_replay
 from .codecache import TranslationMap, translation_map_from_replay
 from .config import DBTConfig
 from .pool import CandidatePool
 from .regions import RegionFormer
+from .replay_kernel import resolve_replay_chunk, resolve_replay_kernel
 
 
 def registration_positions(events: Mapping[int, BlockEvents],
@@ -116,16 +118,27 @@ class ReplayDBT:
         config: DBT configuration (the threshold lives here).
         loops: optional precomputed loop forest (recomputed otherwise —
             pass it in when sweeping thresholds over one CFG).
+        replay_kernel: ``"scalar"`` (heap walk, the oracle) or
+            ``"batched"`` (windowed numpy sweep); default
+            ``$REPRO_REPLAY_KERNEL``, else ``"batched"``.  Both kernels
+            produce identical freeze steps, regions and translation
+            maps (the differential suite pins it).
+        replay_chunk: target events per batched window (default
+            ``$REPRO_REPLAY_CHUNK``, else 2048; scalar ignores it).
     """
 
     def __init__(self, trace: ExecutionTrace, cfg: ControlFlowGraph,
-                 config: DBTConfig, loops: Optional[LoopForest] = None):
+                 config: DBTConfig, loops: Optional[LoopForest] = None,
+                 replay_kernel: Optional[str] = None,
+                 replay_chunk: Optional[int] = None):
         if trace.num_blocks != cfg.num_nodes:
             raise ValueError("trace and CFG disagree on block count")
         self.trace = trace
         self.cfg = cfg
         self.config = config
         self.loops = loops or find_loops(cfg)
+        self.replay_kernel = resolve_replay_kernel(replay_kernel)
+        self.replay_chunk = resolve_replay_chunk(replay_chunk)
         self.former = RegionFormer(cfg, self.loops, config)
 
         self.freeze_step: Dict[int, int] = {}
@@ -139,7 +152,9 @@ class ReplayDBT:
     @classmethod
     def from_batches(cls, batches, cfg: ControlFlowGraph,
                      config: DBTConfig,
-                     loops: Optional[LoopForest] = None) -> "ReplayDBT":
+                     loops: Optional[LoopForest] = None,
+                     replay_kernel: Optional[str] = None,
+                     replay_chunk: Optional[int] = None) -> "ReplayDBT":
         """Ingest a streaming event-batch producer (the vector kernel).
 
         The batches are concatenated into the trace while the per-block
@@ -148,7 +163,8 @@ class ReplayDBT:
         to constructing from the equivalent recorded trace.
         """
         trace = assemble_trace(batches, cfg.num_nodes, build_index=True)
-        return cls(trace, cfg, config, loops=loops)
+        return cls(trace, cfg, config, loops=loops,
+                   replay_kernel=replay_kernel, replay_chunk=replay_chunk)
 
     # -- frozen-aware counter view --------------------------------------------
 
@@ -164,32 +180,21 @@ class ReplayDBT:
             return self
         self._ran = True
         threshold = self.config.threshold
-        pool = CandidatePool(self.config)
         events = self._events
-        freeze_step = self.freeze_step
 
-        with span("replay.run", threshold=threshold):
-            # Heap of (trace position, block, registration ordinal k) over
-            # the precomputed per-block registration-position arrays; only
-            # each block's *next* registration is enqueued, so tiny
-            # thresholds don't flood the heap up front.
+        with span("replay.run", threshold=threshold,
+                  kernel=self.replay_kernel):
             positions = registration_positions(events, threshold)
-            heap: List[Tuple[int, int, int]] = [
-                (int(regs[0]), block, 1)
-                for block, regs in positions.items()]
-            heapq.heapify(heap)
-
-            while heap:
-                pos, block, k = heapq.heappop(heap)
-                if block in freeze_step:
-                    continue  # counting stopped before this occurrence
-                trigger = pool.register(block)
-                if trigger:
-                    self._optimize(pool, now=pos + 1)
-                if block not in freeze_step:
-                    regs = positions[block]
-                    if k < len(regs):
-                        heapq.heappush(heap, (int(regs[k]), block, k + 1))
+            if self.replay_kernel == "batched":
+                stats = run_batched_replay(
+                    positions, self.config, self._optimize_blocks,
+                    self.trace.num_blocks, chunk=self.replay_chunk)
+                inc("replay.kernel.batched.runs")
+                inc("replay.kernel.batched.windows", stats.windows)
+                inc("replay.kernel.batched.events", stats.events)
+            else:
+                self._run_scalar(positions)
+                inc("replay.kernel.scalar.runs")
         # Every block seen in the trace got a quick translation; the
         # optimised set was retranslated into regions.
         inc("replay.runs")
@@ -199,13 +204,42 @@ class ReplayDBT:
         inc("replay.optimization_events", len(self.optimization_events))
         return self
 
+    def _run_scalar(self, positions: Dict[int, np.ndarray]) -> None:
+        """The oracle heap walk: one Python iteration per registration."""
+        pool = CandidatePool(self.config)
+        freeze_step = self.freeze_step
+        # Heap of (trace position, block, registration ordinal k) over
+        # the precomputed per-block registration-position arrays; only
+        # each block's *next* registration is enqueued, so tiny
+        # thresholds don't flood the heap up front.
+        heap: List[Tuple[int, int, int]] = [
+            (int(regs[0]), block, 1)
+            for block, regs in positions.items()]
+        heapq.heapify(heap)
+
+        while heap:
+            pos, block, k = heapq.heappop(heap)
+            if block in freeze_step:
+                continue  # counting stopped before this occurrence
+            trigger = pool.register(block)
+            if trigger:
+                self._optimize(pool, now=pos + 1)
+            if block not in freeze_step:
+                regs = positions[block]
+                if k < len(regs):
+                    heapq.heappush(heap, (int(regs[k]), block, k + 1))
+
     def _optimize(self, pool: CandidatePool, now: int) -> None:
-        drained = pool.drain()
+        self._optimize_blocks(pool.drain(), now)
+
+    def _optimize_blocks(self, drained: List[int], now: int) -> Set[int]:
+        """Run the optimisation phase over a drained pool; returns the
+        newly frozen blocks (shared by both replay kernels)."""
         pool_blocks = [b for b in drained if b not in self.optimized]
         if len(pool_blocks) != len(drained):
             inc("pool.evictions", len(drained) - len(pool_blocks))
         if not pool_blocks:
-            return
+            return set()
         with sampled_span("region.form", threshold=self.config.threshold,
                           blocks=len(pool_blocks)):
             result = self.former.form(
@@ -216,6 +250,7 @@ class ReplayDBT:
             self.freeze_step[b] = now
         self.optimized.update(result.newly_optimized)
         self.optimization_events.append((now, sorted(result.newly_optimized)))
+        return result.newly_optimized
 
     # -- output ---------------------------------------------------------------------
 

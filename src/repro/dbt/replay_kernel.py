@@ -1,0 +1,83 @@
+"""Kernel selection for the replay hot path: scalar oracle vs batched.
+
+Two engines drive a threshold's registration stream through the
+two-phase pipeline state machine:
+
+* ``"scalar"`` — the original heap walk in
+  :class:`~repro.dbt.replay.ReplayDBT` /
+  :class:`~repro.dbt.multireplay.MultiThresholdReplay`, one Python
+  iteration per registration event.  Slow but simple; retained as the
+  oracle the differential suite measures the fast path against.
+* ``"batched"`` — the windowed numpy sweep in
+  :mod:`repro.dbt.batchreplay`: registrations of all live blocks are
+  gathered into sorted position windows and the pool-trigger scan runs
+  as array operations, so Python executes once per *window* (and per
+  optimisation event) instead of once per registration.  Event-for-event
+  identical to the scalar walk by construction; the default.
+
+Selection order is explicit argument > ``$REPRO_REPLAY_KERNEL`` >
+``"batched"`` — exactly the walker-kernel pattern of
+:mod:`repro.stochastic.kernel`.  The replay kernel is a pure
+implementation detail (both kernels produce identical freeze steps,
+regions and translation maps), so it is *not* part of any cache
+fingerprint; it is recorded in the run manifest instead so cached
+results still say which engine replayed them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Environment variable overriding the default replay kernel.
+REPLAY_KERNEL_ENV = "REPRO_REPLAY_KERNEL"
+
+#: Recognised replay kernel names.
+REPLAY_KERNELS = ("scalar", "batched")
+
+#: The replay kernel used when neither argument nor env var says.
+DEFAULT_REPLAY_KERNEL = "batched"
+
+#: Environment variable overriding the batched kernel's window size.
+REPLAY_CHUNK_ENV = "REPRO_REPLAY_CHUNK"
+
+#: Target registration events per batched window.
+DEFAULT_REPLAY_CHUNK = 2048
+
+
+def resolve_replay_kernel(kernel: Optional[str] = None) -> str:
+    """The effective replay kernel name.
+
+    Explicit ``kernel`` wins; otherwise :data:`REPLAY_KERNEL_ENV`;
+    otherwise :data:`DEFAULT_REPLAY_KERNEL`.  Anything outside
+    :data:`REPLAY_KERNELS` raises.
+    """
+    if kernel is None:
+        kernel = os.environ.get(REPLAY_KERNEL_ENV, "").strip().lower() \
+            or DEFAULT_REPLAY_KERNEL
+    if kernel not in REPLAY_KERNELS:
+        raise ValueError(
+            f"replay kernel must be one of {REPLAY_KERNELS}, "
+            f"got {kernel!r}")
+    return kernel
+
+
+def resolve_replay_chunk(chunk: Optional[int] = None) -> int:
+    """The effective batched-window event target.
+
+    Explicit ``chunk`` wins; otherwise :data:`REPLAY_CHUNK_ENV`;
+    otherwise :data:`DEFAULT_REPLAY_CHUNK`.  Must be ``>= 1``.
+    """
+    if chunk is None:
+        env = os.environ.get(REPLAY_CHUNK_ENV, "").strip()
+        if not env:
+            return DEFAULT_REPLAY_CHUNK
+        try:
+            chunk = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{REPLAY_CHUNK_ENV} must be an integer, "
+                f"got {env!r}") from None
+    if chunk < 1:
+        raise ValueError(f"replay chunk must be >= 1, got {chunk}")
+    return chunk

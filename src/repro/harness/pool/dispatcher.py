@@ -59,6 +59,7 @@ from ...obs.dispatch import JobTimeline
 from ...obs.registry import inc
 from ...obs.spans import span
 from ...perfmodel.costs import CostModel
+from ...dbt.replay_kernel import resolve_replay_kernel
 from ...stochastic.kernel import resolve_kernel
 from .. import faults
 from .base import PoolBackend
@@ -648,6 +649,7 @@ def dispatch_study_jobs(
         on_output: Optional[Callable[[WorkerOutput], None]] = None,
         verify: bool = False,
         kernel: Optional[str] = None,
+        replay_kernel: Optional[str] = None,
         profile: bool = False,
         pool: Optional[str] = None,
         batch: Optional[int] = None,
@@ -670,6 +672,9 @@ def dispatch_study_jobs(
             per :func:`repro.stochastic.kernel.resolve_kernel` — the
             worker must not re-read the environment, or a parent-side
             explicit choice would not survive the process hop).
+        replay_kernel: replay engine shipped to every job (default per
+            :func:`repro.dbt.replay_kernel.resolve_replay_kernel`;
+            shipped explicitly for the same reason as ``kernel``).
         profile: arm the fine-grained profiling span sites inside every
             job (shipped explicitly for the same reason as ``kernel``).
         pool: backend name from :data:`BACKENDS` (default: ``$REPRO_POOL``,
@@ -686,10 +691,11 @@ def dispatch_study_jobs(
     plan = plan if plan is not None else faults.FaultPlan.from_env()
     on_output = on_output or (lambda output: None)
     kernel = resolve_kernel(kernel)
+    replay_kernel = resolve_replay_kernel(replay_kernel)
     pool = resolve_pool(pool)
     batch = resolve_batch(batch)
     job_tail = (tuple(thresholds), config, costs, steps_scale, include_perf,
-                verify, kernel, profile)
+                verify, kernel, replay_kernel, profile)
     workers = max(1, min(jobs, len(names)))
     if pool is None:
         if batch is not None and batch > 1:

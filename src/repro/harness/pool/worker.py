@@ -37,11 +37,13 @@ from ..results import BenchmarkResult
 
 _log = obslog.get_logger("repro.harness.pool.worker")
 
-#: A study job as shipped to a worker (everything here pickles).  The
-#: last two elements are the profiling flag and the fault kind the
-#: parent drew for this attempt.
+#: A study job as shipped to a worker (everything here pickles):
+#: (name, thresholds, config, costs, steps_scale, include_perf, verify,
+#: kernel, replay_kernel, profile, inject) — the last two elements are
+#: the profiling flag and the fault kind the parent drew for this
+#: attempt.
 Job = Tuple[str, Tuple[int, ...], DBTConfig, CostModel, float, bool,
-            bool, str, bool, Optional[str]]
+            bool, str, str, bool, Optional[str]]
 
 #: perf_counter() at pool-worker initialisation (None in the parent).
 _WORKER_SPAWNED_AT: Optional[float] = None
@@ -152,7 +154,7 @@ def pool_worker_init(profile: bool = False) -> None:
 def run_study_job(job: Job) -> WorkerOutput:
     """Run one benchmark's study in a worker process."""
     (name, thresholds, config, costs, steps_scale, include_perf, verify,
-     kernel, profile, inject) = job
+     kernel, replay_kernel, profile, inject) = job
     # A forked worker inherits the parent's registry/trace contents (and
     # a warm pool worker keeps state across jobs) — start each job clean
     # so the returned state is exactly this benchmark's signals.
@@ -174,7 +176,7 @@ def run_study_job(job: Job) -> WorkerOutput:
         result = study_benchmark(benchmark, thresholds, config=config,
                                  costs=costs, steps_scale=steps_scale,
                                  include_perf=include_perf, verify=verify,
-                                 kernel=kernel)
+                                 kernel=kernel, replay_kernel=replay_kernel)
     except Exception as exc:
         # Ship the failure in a picklable envelope with the flight ring;
         # injected crashes (os._exit) and hangs never reach this point.

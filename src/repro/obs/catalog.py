@@ -74,9 +74,24 @@ CATALOG: List[Instrument] = [
     Instrument("translator.retranslations", "counter",
                "Blocks retranslated at the optimized tier."),
     Instrument("replay.runs", "counter",
-               "Replay passes over a recorded trace (all replayers)."),
+               "Replay passes over a recorded trace (all replayers); a "
+               "multi-threshold sweep is one shared pass, counted once."),
     Instrument("replay.blocks_translated", "counter",
-               "Blocks translated during replay."),
+               "Distinct blocks quick-translated per replay pass; a "
+               "multi-threshold sweep counts its shared pass once, not "
+               "once per threshold state."),
+    Instrument("replay.kernel.scalar.runs", "counter",
+               "Replay passes driven by the scalar heap-walk kernel "
+               "(the oracle)."),
+    Instrument("replay.kernel.batched.runs", "counter",
+               "Replay passes driven by the batched windowed-sweep "
+               "kernel."),
+    Instrument("replay.kernel.batched.windows", "counter",
+               "Position windows materialized by the batched replay "
+               "kernel."),
+    Instrument("replay.kernel.batched.events", "counter",
+               "Registration events swept in bulk by the batched "
+               "replay kernel."),
     Instrument("replay.retranslations", "counter",
                "Blocks promoted to the optimized tier during replay."),
     Instrument("replay.regions_formed", "counter",

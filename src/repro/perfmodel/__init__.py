@@ -4,9 +4,11 @@ from .costs import DEFAULT_COSTS, CostModel
 from .derive import estimate_cost_measured, measured_block_costs
 from .execution import CostBreakdown, estimate_cost, relative_performance
 from .overhead import OverheadSeries, average_normalized, overhead_series
+from .tables import CostTables
 
 __all__ = [
-    "CostBreakdown", "CostModel", "DEFAULT_COSTS", "OverheadSeries",
-    "average_normalized", "estimate_cost", "estimate_cost_measured",
-    "measured_block_costs", "overhead_series", "relative_performance",
+    "CostBreakdown", "CostModel", "CostTables", "DEFAULT_COSTS",
+    "OverheadSeries", "average_normalized", "estimate_cost",
+    "estimate_cost_measured", "measured_block_costs", "overhead_series",
+    "relative_performance",
 ]

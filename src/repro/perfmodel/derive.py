@@ -64,45 +64,25 @@ def estimate_cost_measured(trace, tmap, program: Program,
                            cfg: ControlFlowGraph,
                            snapshot: ProfileSnapshot,
                            machine: MachineModel = MachineModel(),
-                           costs: Optional[CostModel] = None):
+                           costs: Optional[CostModel] = None,
+                           tables=None):
     """Figure 17's estimator with measured optimised-block costs.
 
     Identical to :func:`repro.perfmodel.execution.estimate_cost` except
     the optimised execution term uses per-block measured cycles instead
-    of ``opt_cost × size``.
+    of ``opt_cost × size``.  ``tables`` is an optional precomputed
+    :class:`~repro.perfmodel.tables.CostTables` for this (trace,
+    program, costs) triple, shareable across translation maps.
     """
-    from .execution import CostBreakdown
+    from .execution import _breakdown
+    from .tables import CostTables
 
     costs = costs or CostModel()
-    table = program.block_table()
-    sizes = np.array([len(block) for _, block in table], dtype=float)
     measured = measured_block_costs(program, cfg, snapshot, machine, costs)
-
-    blocks = trace.blocks.astype(np.int64)
-    positions = np.arange(len(blocks), dtype=np.int64)
-    optimized = tmap.optimized_at[blocks] <= positions
-
-    unopt_cost = float(np.sum(np.where(
-        ~optimized, sizes[blocks] * costs.interp_cost +
-        costs.profile_overhead, 0.0)))
-    opt_cost = float(np.sum(np.where(optimized, measured[blocks], 0.0)))
-
-    num_side_exits = 0
-    if len(blocks) > 1 and tmap.internal_pairs:
-        src = blocks[:-1]
-        dst = blocks[1:]
-        codes = src * trace.num_blocks + dst
-        inside = np.isin(codes, tmap.internal_pair_codes())
-        tails = np.zeros(trace.num_blocks, dtype=bool)
-        for block in tmap.tail_blocks:
-            tails[block] = True
-        side = optimized[:-1] & ~inside & ~tails[src]
-        num_side_exits = int(np.sum(side))
-    side_cost = num_side_exits * costs.side_exit_penalty
-    translation = float(tmap.instructions_translated(sizes) *
-                        costs.translation_cost)
-    return CostBreakdown(
-        unoptimized=unopt_cost, optimized=opt_cost, side_exits=side_cost,
-        translation=translation, num_side_exits=num_side_exits,
-        optimized_fraction=float(np.mean(optimized)) if len(blocks)
-        else 0.0)
+    if tables is None:
+        table = program.block_table()
+        sizes = np.array([len(block) for _, block in table], dtype=float)
+        tables = CostTables(trace, sizes, costs)
+    elif tables.num_steps != trace.num_steps:
+        raise ValueError("tables were built from a different trace")
+    return _breakdown(tables, tmap, costs, measured[tables.blocks])

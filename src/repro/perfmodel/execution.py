@@ -18,6 +18,7 @@ from ..obs.registry import inc
 from ..obs.spans import span
 from ..stochastic.trace import ExecutionTrace
 from .costs import DEFAULT_COSTS, CostModel
+from .tables import CostTables
 
 
 @dataclass
@@ -42,9 +43,51 @@ class CostBreakdown:
                 self.translation)
 
 
+def _breakdown(tables: CostTables, tmap: TranslationMap, costs: CostModel,
+               opt_price: np.ndarray) -> CostBreakdown:
+    """Price one translation map against precomputed trace tables.
+
+    ``opt_price`` is the per-step cost of a step that runs optimised —
+    the flat ``tables.opt_price`` for the analytic model, or measured
+    per-block costs gathered over the trace for the derived model.
+    Every arithmetic operation here matches the historical per-call
+    estimator element for element, so totals are bit-identical.
+    """
+    blocks = tables.blocks
+    optimized = tmap.optimized_at[blocks] <= tables.positions
+
+    unopt_cost = float(np.sum(
+        np.where(~optimized, tables.unopt_price, 0.0)))
+    opt_cost = float(np.sum(np.where(optimized, opt_price, 0.0)))
+
+    # Side exits: an optimised block whose *dynamic* successor edge is
+    # not covered by any region's internal/back edges fell out of
+    # translated code unexpectedly.  Exits from region tails are the
+    # planned region exit and are free.
+    num_side_exits = 0
+    if len(blocks) > 1 and tmap.internal_pairs:
+        inside = tables.edge_inside(tmap)
+        tails = np.zeros(tables.num_blocks, dtype=bool)
+        for block in tmap.tail_blocks:
+            tails[block] = True
+        side = optimized[:-1] & ~inside & ~tails[tables.src]
+        num_side_exits = int(np.sum(side))
+    side_cost = num_side_exits * costs.side_exit_penalty
+
+    translation = float(tmap.instructions_translated(tables.sizes) *
+                        costs.translation_cost)
+
+    return CostBreakdown(
+        unoptimized=unopt_cost, optimized=opt_cost, side_exits=side_cost,
+        translation=translation, num_side_exits=num_side_exits,
+        optimized_fraction=(float(np.mean(optimized))
+                            if len(blocks) else 0.0))
+
+
 def estimate_cost(trace: ExecutionTrace, tmap: TranslationMap,
                   block_sizes: Sequence[int],
-                  costs: CostModel = DEFAULT_COSTS) -> CostBreakdown:
+                  costs: CostModel = DEFAULT_COSTS,
+                  tables: Optional[CostTables] = None) -> CostBreakdown:
     """Replay ``trace`` against the translation map and price every step.
 
     Args:
@@ -55,55 +98,22 @@ def estimate_cost(trace: ExecutionTrace, tmap: TranslationMap,
             no instruction stream, so sizes come from the workload's CFG
             metadata or :meth:`Program.block_table`).
         costs: the cost calibration.
+        tables: optional precomputed :class:`CostTables` for this
+            (trace, block_sizes, costs) triple — pass one when sweeping
+            many translation maps over the same trace so the
+            trace-invariant work is paid once.  Results are bit-identical
+            with or without.
     """
-    sizes = np.asarray(block_sizes, dtype=float)
-    if len(sizes) != trace.num_blocks:
-        raise ValueError("block_sizes length does not match block count")
+    if tables is None:
+        tables = CostTables(trace, block_sizes, costs)
+    elif tables.num_steps != trace.num_steps:
+        raise ValueError("tables were built from a different trace")
 
     with span("perfmodel.estimate_cost", steps=trace.num_steps):
-        blocks = trace.blocks.astype(np.int64)
-        positions = np.arange(len(blocks), dtype=np.int64)
-        optimized = tmap.optimized_at[blocks] <= positions
-        step_sizes = sizes[blocks]
-
-        unopt_cost = float(np.sum(
-            np.where(~optimized,
-                     step_sizes * costs.interp_cost +
-                     costs.profile_overhead,
-                     0.0)))
-        opt_cost = float(np.sum(
-            np.where(optimized, step_sizes * costs.opt_cost, 0.0)))
-
-        # Side exits: an optimised block whose *dynamic* successor edge is
-        # not covered by any region's internal/back edges fell out of
-        # translated code unexpectedly.  Exits from region tails are the
-        # planned region exit and are free.
-        num_side_exits = 0
-        if len(blocks) > 1 and tmap.internal_pairs:
-            src = blocks[:-1]
-            dst = blocks[1:]
-            opt_src = optimized[:-1]
-            codes = src * trace.num_blocks + dst
-            internal_codes = tmap.internal_pair_codes()
-            inside = np.isin(codes, internal_codes)
-            tails = np.zeros(trace.num_blocks, dtype=bool)
-            for block in tmap.tail_blocks:
-                tails[block] = True
-            side = opt_src & ~inside & ~tails[src]
-            num_side_exits = int(np.sum(side))
-        side_cost = num_side_exits * costs.side_exit_penalty
-
-        translation = float(tmap.instructions_translated(sizes) *
-                            costs.translation_cost)
-
-        optimized_fraction = (float(np.mean(optimized))
-                              if len(blocks) else 0.0)
+        breakdown = _breakdown(tables, tmap, costs, tables.opt_price)
     inc("perfmodel.estimates")
-    inc("perfmodel.side_exits", num_side_exits)
-    return CostBreakdown(
-        unoptimized=unopt_cost, optimized=opt_cost, side_exits=side_cost,
-        translation=translation, num_side_exits=num_side_exits,
-        optimized_fraction=optimized_fraction)
+    inc("perfmodel.side_exits", breakdown.num_side_exits)
+    return breakdown
 
 
 def relative_performance(costs_by_threshold: Dict[int, CostBreakdown],

@@ -1,0 +1,157 @@
+"""Precomputed per-trace cost tables for the performance model.
+
+A threshold sweep estimates the cost of one recorded trace against many
+translation maps (one per threshold).  Most of what
+:func:`~repro.perfmodel.execution.estimate_cost` computes per call is a
+function of the *trace* alone — the int64 block ids, the position ramp,
+the per-step unoptimised/optimised prices, the dynamic-edge pair codes —
+so recomputing it for every threshold dominated study time.
+:class:`CostTables` hoists those invariants out of the loop; the
+estimators take an optional ``tables`` argument and skip straight to the
+per-map work.
+
+Bitwise identity is the design constraint: every float in a table is
+produced by exactly the elementwise operation the un-hoisted estimator
+performed, so the sums the estimators reduce them to are bit-for-bit the
+same and the SHA-pinned golden corpus is untouched.  The only true
+replacement is the internal-edge membership test, which swaps
+``np.isin`` (a sort-based search per call) for a boolean lookup table
+over the pair-code space — an exact set-membership equivalence, checked
+by ``tests/perfmodel/test_cost_tables.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..dbt.codecache import TranslationMap
+from ..stochastic.trace import EventIndexBuilder, ExecutionTrace
+from .costs import DEFAULT_COSTS, CostModel
+
+#: Above this many pair codes the membership LUT would out-cost the
+#: ``np.isin`` it replaces; fall back (16M bools = 16 MB).
+_LUT_CAP = 1 << 24
+
+
+class CostTables:
+    """Trace-invariant inputs of the cost estimators, computed once.
+
+    Attributes:
+        num_blocks: size of the block id space.
+        sizes: float instruction size per block id.
+        costs: the cost calibration the prices were computed under.
+        blocks: the trace's block ids as int64.
+        positions: ``arange(num_steps)`` — the step ramp ``optimized_at``
+            is compared against.
+        unopt_price: per-step cost if the step runs unoptimised
+            (``size * interp_cost + profile_overhead``).
+        opt_price: per-step cost if the step runs optimised under the
+            flat model (``size * opt_cost``).
+        src: source block of every dynamic edge (``blocks[:-1]``).
+        codes: pair code of every dynamic edge
+            (``src * num_blocks + dst``).
+    """
+
+    def __init__(self, trace: ExecutionTrace,
+                 block_sizes: Sequence[int],
+                 costs: CostModel = DEFAULT_COSTS):
+        sizes = np.asarray(block_sizes, dtype=float)
+        if len(sizes) != trace.num_blocks:
+            raise ValueError("block_sizes length does not match block count")
+        blocks = trace.blocks.astype(np.int64)
+        step_sizes = sizes[blocks]
+        self.num_blocks = trace.num_blocks
+        self.sizes = sizes
+        self.costs = costs
+        self.blocks = blocks
+        self.positions = np.arange(len(blocks), dtype=np.int64)
+        self.unopt_price = (step_sizes * costs.interp_cost +
+                            costs.profile_overhead)
+        self.opt_price = step_sizes * costs.opt_cost
+        self.src = blocks[:-1]
+        self.codes = self.src * trace.num_blocks + blocks[1:]
+
+    @classmethod
+    def from_batches(cls, batches, num_blocks: int,
+                     block_sizes: Sequence[int],
+                     costs: CostModel = DEFAULT_COSTS
+                     ) -> Tuple[ExecutionTrace, "CostTables"]:
+        """Stream an event-batch producer into ``(trace, tables)``.
+
+        One pass over the batches builds the trace, its per-block event
+        index *and* the cost tables — each chunk's prices and pair codes
+        are computed as it arrives (the last block of the previous chunk
+        is carried so boundary-straddling edges get their code), so no
+        per-event Python objects and no second full-length pass exist.
+        Equivalent to ``assemble_trace`` followed by the constructor.
+        """
+        sizes = np.asarray(block_sizes, dtype=float)
+        if len(sizes) != num_blocks:
+            raise ValueError("block_sizes length does not match block count")
+        builder = EventIndexBuilder(num_blocks)
+        blk_chunks, taken_chunks = [], []
+        b64_chunks, unopt_chunks, opt_chunks = [], [], []
+        src_chunks, code_chunks = [], []
+        prev = None  # last block of the previous non-empty chunk
+        for batch in batches:
+            blocks = np.asarray(batch.blocks, dtype=np.int32)
+            taken = np.asarray(batch.taken, dtype=np.int8)
+            if not len(blocks):
+                continue
+            builder.add(blocks, taken)
+            blk_chunks.append(blocks)
+            taken_chunks.append(taken)
+            b64 = blocks.astype(np.int64)
+            b64_chunks.append(b64)
+            step_sizes = sizes[b64]
+            unopt_chunks.append(step_sizes * costs.interp_cost +
+                                costs.profile_overhead)
+            opt_chunks.append(step_sizes * costs.opt_cost)
+            joined = b64 if prev is None else np.concatenate(
+                (np.array([prev], dtype=np.int64), b64))
+            if len(joined) > 1:
+                src_chunks.append(joined[:-1])
+                code_chunks.append(joined[:-1] * num_blocks + joined[1:])
+            prev = int(b64[-1])
+
+        def cat(chunks, dtype):
+            return (np.concatenate(chunks) if chunks
+                    else np.zeros(0, dtype=dtype))
+
+        trace = ExecutionTrace(cat(blk_chunks, np.int32),
+                               cat(taken_chunks, np.int8), num_blocks)
+        trace.attach_events(builder.finalize())
+        tables = cls.__new__(cls)
+        tables.num_blocks = num_blocks
+        tables.sizes = sizes
+        tables.costs = costs
+        tables.blocks = cat(b64_chunks, np.int64)
+        tables.positions = np.arange(len(tables.blocks), dtype=np.int64)
+        tables.unopt_price = cat(unopt_chunks, float)
+        tables.opt_price = cat(opt_chunks, float)
+        tables.src = cat(src_chunks, np.int64)
+        tables.codes = cat(code_chunks, np.int64)
+        return trace, tables
+
+    @property
+    def num_steps(self) -> int:
+        """Steps in the underlying trace."""
+        return len(self.blocks)
+
+    def edge_inside(self, tmap: TranslationMap) -> np.ndarray:
+        """Per dynamic edge: does it stay inside an optimised region?
+
+        Exact set membership of each edge's pair code in the map's
+        internal codes — a boolean gather through a lookup table over
+        the pair-code space when that space is small enough
+        (:data:`_LUT_CAP`), ``np.isin`` otherwise.
+        """
+        internal_codes = tmap.internal_pair_codes()
+        pair_space = self.num_blocks * self.num_blocks
+        if pair_space <= _LUT_CAP:
+            member = np.zeros(pair_space, dtype=bool)
+            member[internal_codes] = True
+            return member[self.codes]
+        return np.isin(self.codes, internal_codes)

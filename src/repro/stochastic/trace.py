@@ -253,23 +253,30 @@ class EventIndexBuilder:
         return self._offset
 
     def add(self, blocks: np.ndarray, taken: np.ndarray) -> None:
-        """Index one chunk of parallel ``blocks``/``taken`` arrays."""
+        """Index one chunk of parallel ``blocks``/``taken`` arrays.
+
+        The per-event work is all bulk numpy: one stable argsort groups
+        the chunk by block, then the shifted step array and the 0/1
+        outcome array are built whole-chunk; the only Python loop slices
+        *views* of those arrays per present block.
+        """
         n = len(blocks)
         if n == 0:
             return
         order = np.argsort(blocks, kind="stable")
         sorted_blocks = blocks[order]
+        steps = order.astype(np.int64)
+        steps += self._offset
+        outcomes = (taken[order] == 1).astype(np.int64)
         boundaries = np.flatnonzero(np.diff(sorted_blocks)) + 1
-        groups = np.split(order, boundaries)
-        offset = self._offset
-        for group in groups:
-            bid = int(blocks[group[0]])
-            steps = group.astype(np.int64)
-            steps += offset
-            self._steps.setdefault(bid, []).append(steps)
-            self._outcomes.setdefault(bid, []).append(
-                (taken[group] == 1).astype(np.int64))
-        self._offset = offset + n
+        starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
+        ends = np.append(boundaries, n)
+        for j, bid in enumerate(sorted_blocks[starts]):
+            bid = int(bid)
+            lo, hi = starts[j], ends[j]
+            self._steps.setdefault(bid, []).append(steps[lo:hi])
+            self._outcomes.setdefault(bid, []).append(outcomes[lo:hi])
+        self._offset += n
 
     def add_batch(self, batch) -> None:
         """Index one :class:`repro.interp.events.EventBatch`."""

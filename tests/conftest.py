@@ -14,15 +14,18 @@ from repro.stochastic import ProgramBehavior, steady, walk
 #: a stray REPRO_JOBS=1 or REPRO_KERNEL=scalar would silently change
 #: what the tests exercise.
 _REPRO_ENV_VARS = ("REPRO_JOBS", "REPRO_POOL", "REPRO_BATCH",
-                   "REPRO_KERNEL", "REPRO_FAULT_SPEC",
+                   "REPRO_KERNEL", "REPRO_REPLAY_KERNEL",
+                   "REPRO_REPLAY_CHUNK", "REPRO_FAULT_SPEC",
                    "REPRO_VERIFY", "REPRO_RETRIES", "REPRO_JOB_TIMEOUT",
                    "REPRO_PROFILE", "REPRO_PROFILE_SAMPLE",
                    "REPRO_FLIGHT_DIR", "REPRO_FLIGHT_CAPACITY")
 
-#: CI sets this to run the tier-1 suite once per kernel; it is applied
-#: as REPRO_KERNEL *after* the scrub, so it is the one sanctioned way
-#: to parameterise the suite by kernel from the outside.
+#: CI sets these to run the tier-1 suite once per kernel cell; they are
+#: applied as REPRO_KERNEL / REPRO_REPLAY_KERNEL *after* the scrub, so
+#: they are the one sanctioned way to parameterise the suite by kernel
+#: from the outside.
 _TEST_KERNEL_VAR = "REPRO_TEST_KERNEL"
+_TEST_REPLAY_KERNEL_VAR = "REPRO_TEST_REPLAY_KERNEL"
 
 
 @pytest.fixture(autouse=True)
@@ -33,6 +36,9 @@ def _hermetic_repro_env(monkeypatch):
     test_kernel = os.environ.get(_TEST_KERNEL_VAR)
     if test_kernel:
         monkeypatch.setenv("REPRO_KERNEL", test_kernel)
+    test_replay = os.environ.get(_TEST_REPLAY_KERNEL_VAR)
+    if test_replay:
+        monkeypatch.setenv("REPRO_REPLAY_KERNEL", test_replay)
     yield
     # Warm pool workers hold fork-time state (environment, module
     # globals) — a worker parked by one test must not serve the next.

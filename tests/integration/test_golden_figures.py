@@ -97,36 +97,50 @@ def test_golden_corpus_digest(name):
 
 
 def test_reduced_study_matrix_byte_identical():
-    """kernel x dispatch mode x verify: every cell has identical bytes."""
+    """kernel x replay kernel x dispatch mode x verify: identical bytes."""
     modes = [dict(jobs=1),                            # inprocess backend
              dict(jobs=2),                            # process backend
              dict(jobs=2, pool="batched", batch=2)]   # batched backend
     baseline = None
     for kernel in ("scalar", "vector"):
-        for mode in modes:
-            # Verification is dispatch-blind; sweeping it again per pool
-            # backend would slow the wall without adding coverage.
-            verifies = (False, True) if "pool" not in mode else (False,)
-            for verify in verifies:
-                results = run_full_study(kernel=kernel, verify=verify,
-                                         **mode, **REDUCED)
-                got = _figure_bytes(results)
-                label = f"kernel={kernel} mode={mode} verify={verify}"
-                if baseline is None:
-                    baseline = got
-                else:
-                    assert got == baseline, f"{label} diverged"
-                assert results.manifest["kernel"] == kernel, label
-                if "pool" in mode:
-                    assert results.manifest["pool"] == mode["pool"], label
-                    assert results.manifest["batch_size"] == \
-                        mode["batch"], label
+        for replay_kernel in ("scalar", "batched"):
+            for mode in modes:
+                # Verification is dispatch- and kernel-blind; sweeping
+                # it across every pool backend and replay kernel would
+                # slow the wall without adding coverage.
+                verifies = ((False, True)
+                            if "pool" not in mode
+                            and replay_kernel == "batched"
+                            else (False,))
+                for verify in verifies:
+                    results = run_full_study(kernel=kernel,
+                                             replay_kernel=replay_kernel,
+                                             verify=verify,
+                                             **mode, **REDUCED)
+                    got = _figure_bytes(results)
+                    label = (f"kernel={kernel} replay={replay_kernel} "
+                             f"mode={mode} verify={verify}")
+                    if baseline is None:
+                        baseline = got
+                    else:
+                        assert got == baseline, f"{label} diverged"
+                    assert results.manifest["kernel"] == kernel, label
+                    assert results.manifest["replay_kernel"] == \
+                        replay_kernel, label
+                    if "pool" in mode:
+                        assert results.manifest["pool"] == \
+                            mode["pool"], label
+                        assert results.manifest["batch_size"] == \
+                            mode["batch"], label
 
 
 def test_reduced_figures_render_identically_across_kernels():
-    """Rendered figure text (what results/*.txt holds) is kernel-blind."""
-    scalar = run_full_study(jobs=1, kernel="scalar", **REDUCED)
-    vector = run_full_study(jobs=1, kernel="vector", **REDUCED)
+    """Rendered figure text (what results/*.txt holds) is kernel-blind,
+    on both the recording and the replay axis."""
+    scalar = run_full_study(jobs=1, kernel="scalar",
+                            replay_kernel="scalar", **REDUCED)
+    vector = run_full_study(jobs=1, kernel="vector",
+                            replay_kernel="batched", **REDUCED)
     for fignum, builder in sorted(FIGURES.items()):
         assert render(builder(scalar)) == render(builder(vector)), \
             f"figure {fignum} renders differently under the two kernels"
@@ -137,9 +151,9 @@ def test_reduced_figures_render_identically_across_kernels():
 def test_full_corpus_regenerates_identically():
     """The committed corpus is reproducible from scratch, either kernel."""
     scalar = run_full_study(include_perf=True, cache_dir=None,
-                            kernel="scalar")
+                            kernel="scalar", replay_kernel="scalar")
     vector = run_full_study(include_perf=True, cache_dir=None,
-                            kernel="vector")
+                            kernel="vector", replay_kernel="batched")
     assert _figure_bytes(scalar) == _figure_bytes(vector)
     for fignum, builder in sorted(FIGURES.items()):
         name = f"{builder.__name__}.txt"
